@@ -1,0 +1,413 @@
+// Benchmarks regenerating the paper's evaluation (one benchmark per table
+// and figure — see DESIGN.md's per-experiment index) plus microbenchmarks
+// of the kernels they exercise. Run:
+//
+//	go test -bench=. -benchmem
+package copack_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"copack"
+	"copack/internal/assign"
+	"copack/internal/exchange"
+	"copack/internal/exp"
+	"copack/internal/gen"
+	"copack/internal/power"
+	"copack/internal/route"
+)
+
+// BenchmarkTable1 builds all five test-circuit instances.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, tc := range gen.Table1() {
+			if _, err := gen.Build(tc, gen.Options{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the full density/wirelength comparison.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table2(1, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AvgDensityDFA >= res.AvgDensityIFA {
+			b.Fatal("density ratios out of order")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the exchange experiment, one sub-benchmark
+// per circuit and tier count (the annealer dominates).
+func BenchmarkTable3(b *testing.B) {
+	for _, psi := range []int{1, 4} {
+		for _, tc := range gen.Table1() {
+			b.Run(fmt.Sprintf("%s/psi%d", tc.Name, psi), func(b *testing.B) {
+				p := gen.MustBuild(tc, gen.Options{Seed: 1, Tiers: psi})
+				dfaA, err := assign.DFA(p, assign.DFAOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := exchange.Run(p, dfaA, exchange.Options{Seed: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig5 evaluates the worked example's three orders.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := exp.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Random != 4 || f.DFA != 2 {
+			b.Fatalf("fig5 densities drifted: %+v", f)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the IR-drop pad-plan comparison (quick mode;
+// the full-fidelity run is `fpbench -fig 6`).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig6(1, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !(res.Drop["random"] > res.Drop["regular"] && res.Drop["regular"] > res.Drop["proposed"]) {
+			b.Fatal("fig6 ordering drifted")
+		}
+	}
+}
+
+// BenchmarkFig13 evaluates the 20-net example.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := exp.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.IFA != 6 {
+			b.Fatalf("fig13 IFA density drifted: %+v", f)
+		}
+	}
+}
+
+// BenchmarkFig15 realizes and renders the circuit-2 routing plots.
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig15(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Kernel microbenchmarks ----------------------------------------------
+
+func benchProblem(b *testing.B, idx int) *copack.Problem {
+	b.Helper()
+	p := gen.MustBuild(gen.Table1()[idx], gen.Options{Seed: 1})
+	return p
+}
+
+// BenchmarkAssign measures the three assignment algorithms on the largest
+// circuit (448 fingers).
+func BenchmarkAssign(b *testing.B) {
+	p := benchProblem(b, 4)
+	b.Run("ifa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := assign.IFA(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dfa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := assign.DFA(p, assign.DFAOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("random", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			if _, err := assign.Random(p, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRouteEvaluate measures the density model.
+func BenchmarkRouteEvaluate(b *testing.B) {
+	p := benchProblem(b, 4)
+	a, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.Evaluate(p, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteRealize measures full wire-geometry production.
+func BenchmarkRouteRealize(b *testing.B) {
+	p := benchProblem(b, 4)
+	a, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.Realize(p, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerSolve measures the IR-drop solvers on a 48×48 grid.
+func BenchmarkPowerSolve(b *testing.B) {
+	p := benchProblem(b, 0)
+	a, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := power.DefaultChipGrid(p)
+	pads := power.PadsForAssignment(p, a, g)
+	for name, m := range map[string]power.Method{"cg": power.CG, "sor": power.SOR} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := power.Solve(g, pads, power.SolveOptions{Method: m}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProxy measures the compact IR estimate the annealer calls twice
+// per move.
+func BenchmarkProxy(b *testing.B) {
+	p := benchProblem(b, 4)
+	a, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		power.ProxyForAssignment(p, a)
+	}
+}
+
+// BenchmarkMonotonicCheck measures the legality verifier.
+func BenchmarkMonotonicCheck(b *testing.B) {
+	p := benchProblem(b, 4)
+	a, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := copack.CheckMonotonic(p, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) -----------
+
+// BenchmarkAblationExchange compares exchange variants on circuit 3:
+// the paper's literal top-line-only Eq 2 versus the all-lines default, and
+// the range constraint on versus off. The reported metric of interest is
+// printed once per variant (density after exchange / legality).
+func BenchmarkAblationExchange(b *testing.B) {
+	p := gen.MustBuild(gen.Table1()[2], gen.Options{Seed: 1, Tiers: 4})
+	dfaA, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		opt  exchange.Options
+	}{
+		{"default", exchange.Options{Seed: 1}},
+		{"topLineOnlyEq2", exchange.Options{Seed: 1, TopLineOnly: true}},
+		{"noRangeConstraint", exchange.Options{Seed: 1, DisableRangeConstraint: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var last *exchange.Result
+			for i := 0; i < b.N; i++ {
+				res, err := exchange.Run(p, dfaA, v.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			if last != nil {
+				b.ReportMetric(float64(last.After.MaxDensity), "density")
+				if last.Legal {
+					b.ReportMetric(1, "legal")
+				} else {
+					b.ReportMetric(0, "legal")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDFACut sweeps the DFA cut-line parameter n, reporting
+// both the interior density and the cut-line corner load it trades against.
+func BenchmarkAblationDFACut(b *testing.B) {
+	p := benchProblem(b, 2)
+	for _, cut := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("n%d", cut), func(b *testing.B) {
+			var density, corner int
+			for i := 0; i < b.N; i++ {
+				a, err := assign.DFA(p, assign.DFAOptions{Cut: cut})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := route.Evaluate(p, a)
+				if err != nil {
+					b.Fatal(err)
+				}
+				density = s.MaxDensity
+				if corner, err = route.MaxCornerCongestion(p, a); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(density), "density")
+			b.ReportMetric(float64(corner), "corner")
+		})
+	}
+}
+
+// BenchmarkAblationWeights sweeps the Eq 3 weights on a stacked instance,
+// reporting how ω and density trade off.
+func BenchmarkAblationWeights(b *testing.B) {
+	p := gen.MustBuild(gen.Table1()[0], gen.Options{Seed: 1, Tiers: 4})
+	dfaA, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []struct {
+		name     string
+		rho, phi float64
+	}{
+		{"rho0.5_phi0.4", 0.5, 0.4},
+		{"rho2.5_phi0.4", 2.5, 0.4},
+		{"rho2.5_phi2.0", 2.5, 2.0},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			var last *exchange.Result
+			for i := 0; i < b.N; i++ {
+				res, err := exchange.Run(p, dfaA, exchange.Options{Seed: 1, Rho: w.rho, Phi: w.phi})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			if last != nil {
+				b.ReportMetric(float64(last.After.MaxDensity), "density")
+				b.ReportMetric(float64(last.After.Omega), "omega")
+			}
+		})
+	}
+}
+
+// BenchmarkQuadrantScaling measures how Evaluate scales with ring size
+// across the five circuits (the paper claims seconds for everything).
+func BenchmarkQuadrantScaling(b *testing.B) {
+	for idx, tc := range gen.Table1() {
+		b.Run(tc.Name, func(b *testing.B) {
+			p := benchProblem(b, idx)
+			a, err := assign.DFA(p, assign.DFAOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := route.Evaluate(p, a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationViaShift measures the Kubo–Takahashi-style iterative via
+// improvement on top of DFA across the five circuits, reporting the density
+// before and after.
+func BenchmarkAblationViaShift(b *testing.B) {
+	for idx, tc := range gen.Table1() {
+		b.Run(tc.Name, func(b *testing.B) {
+			p := benchProblem(b, idx)
+			a, err := assign.DFA(p, assign.DFAOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			base, err := route.Evaluate(p, a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var after int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := route.ImproveViasAll(p, a, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				after = st.MaxDensity
+			}
+			b.ReportMetric(float64(base.MaxDensity), "density_before")
+			b.ReportMetric(float64(after), "density_after")
+		})
+	}
+}
+
+// BenchmarkDesignIO measures design-file serialization round trips.
+func BenchmarkDesignIO(b *testing.B) {
+	p := benchProblem(b, 4)
+	text := copack.FormatDesign(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := copack.ParseDesign(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDRC measures the full design-rule check.
+func BenchmarkDRC(b *testing.B) {
+	p := benchProblem(b, 4)
+	a, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := copack.CheckDesignRules(p, a, copack.DRCRules{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatal("unexpected violations")
+		}
+	}
+}

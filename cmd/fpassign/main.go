@@ -1,0 +1,200 @@
+// Command fpassign runs the chip-package co-design flow on one instance:
+// congestion-driven finger/pad assignment followed by the IR-drop- and
+// bonding-aware exchange. It prints the before/after metrics and optionally
+// writes routing and IR-map SVGs.
+//
+// Usage:
+//
+//	fpassign -circuit 2 -alg dfa -tiers 4 -seed 1 -svg routing.svg -irmap ir.svg
+//	fpassign -fingers 256 -ballspace 1.2 -alg ifa -skip-exchange
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"copack"
+)
+
+func main() {
+	var (
+		circuit      = flag.Int("circuit", 0, "Table 1 circuit number 1..5 (0 = use -fingers)")
+		in           = flag.String("in", "", "load a design file instead of generating an instance")
+		out          = flag.String("out", "", "write the planned design back to a design file")
+		fingers      = flag.Int("fingers", 96, "finger/pad count for a custom instance")
+		ballSpace    = flag.Float64("ballspace", 1.2, "bump ball spacing (µm) for a custom instance")
+		alg          = flag.String("alg", "dfa", "assignment algorithm: dfa, ifa or random")
+		tiers        = flag.Int("tiers", 1, "stacking tier count ψ (1 = 2-D IC)")
+		seed         = flag.Int64("seed", 1, "random seed")
+		skipExchange = flag.Bool("skip-exchange", false, "stop after the congestion-driven step")
+		improveVias  = flag.Bool("improve-vias", false, "run the iterative via improvement after planning")
+		runDRC       = flag.Bool("drc", false, "run the design-rule check on the final plan")
+		svgPath      = flag.String("svg", "", "write the routing plot to this SVG file")
+		irPath       = flag.String("irmap", "", "write the IR-drop heat map to this SVG file")
+	)
+	flag.Parse()
+
+	cfg := config{
+		circuit: *circuit, in: *in, out: *out, fingers: *fingers, ballSpace: *ballSpace,
+		alg: *alg, tiers: *tiers, seed: *seed, skipExchange: *skipExchange,
+		improveVias: *improveVias, runDRC: *runDRC, svgPath: *svgPath, irPath: *irPath,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "fpassign:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	circuit         int
+	in, out         string
+	fingers         int
+	ballSpace       float64
+	alg             string
+	tiers           int
+	seed            int64
+	skipExchange    bool
+	improveVias     bool
+	runDRC          bool
+	svgPath, irPath string
+}
+
+func run(cfg config) error {
+	circuit, fingers, ballSpace := cfg.circuit, cfg.fingers, cfg.ballSpace
+	alg, tiers, seed := cfg.alg, cfg.tiers, cfg.seed
+	skipExchange, svgPath, irPath := cfg.skipExchange, cfg.svgPath, cfg.irPath
+
+	algorithm, err := copack.ParseAlgorithm(alg)
+	if err != nil {
+		return err
+	}
+	var p *copack.Problem
+	tc := copack.TestCircuit{Name: "design"}
+	if cfg.in != "" {
+		f, err := os.Open(cfg.in)
+		if err != nil {
+			return err
+		}
+		p, err = copack.ReadDesign(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		tc.Name = p.Circuit.Name
+		tc.Fingers = p.Circuit.NumNets()
+		tiers = p.Tiers
+	} else {
+		if circuit >= 1 && circuit <= 5 {
+			tc = copack.Table1Circuits()[circuit-1]
+		} else if circuit == 0 {
+			tc = copack.TestCircuit{Name: "custom", Fingers: fingers,
+				BallSpace: ballSpace, FingerW: 0.1, FingerH: 0.2, FingerSpace: 0.12}
+		} else {
+			return fmt.Errorf("circuit %d outside 1..5", circuit)
+		}
+		if p, err = copack.BuildCircuit(tc, copack.BuildOptions{Seed: seed, Tiers: tiers}); err != nil {
+			return err
+		}
+	}
+	res, err := copack.Plan(p, copack.Options{
+		Algorithm:    algorithm,
+		SkipExchange: skipExchange,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("instance      : %s (%d fingers, ψ=%d, seed %d)\n", tc.Name, tc.Fingers, tiers, seed)
+	fmt.Printf("algorithm     : %v\n", algorithm)
+	fmt.Printf("max density   : %d", res.InitialStats.MaxDensity)
+	if !skipExchange {
+		fmt.Printf(" -> %d after exchange", res.FinalStats.MaxDensity)
+	}
+	fmt.Println()
+	fmt.Printf("wirelength    : %.1f µm", res.InitialStats.Wirelength)
+	if !skipExchange {
+		fmt.Printf(" -> %.1f µm", res.FinalStats.Wirelength)
+	}
+	fmt.Println()
+	fmt.Printf("max IR-drop   : %.2f mV", res.IRDropBefore*1000)
+	if !skipExchange {
+		imp := (res.IRDropBefore - res.IRDropAfter) / res.IRDropBefore * 100
+		fmt.Printf(" -> %.2f mV (%.2f%% better)", res.IRDropAfter*1000, imp)
+	}
+	fmt.Println()
+	if tiers > 1 {
+		fmt.Printf("omega (bond)  : %d", res.OmegaBefore)
+		if !skipExchange {
+			fmt.Printf(" -> %d", res.OmegaAfter)
+		}
+		fmt.Println()
+	}
+	if res.Exchange != nil {
+		fmt.Printf("anneal        : %d proposed, %d accepted, %d uphill\n",
+			res.Exchange.Stats.Proposed, res.Exchange.Stats.Accepted, res.Exchange.Stats.Uphill)
+	}
+
+	if cfg.improveVias {
+		_, st, err := copack.ImproveVias(p, res.Assignment, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("via improve   : density %d -> %d\n", res.FinalStats.MaxDensity, st.MaxDensity)
+	}
+	if cfg.runDRC {
+		rep, err := copack.CheckDesignRules(p, res.Assignment, copack.DRCRules{})
+		if err != nil {
+			return err
+		}
+		if rep.OK() {
+			fmt.Printf("DRC           : clean (segment capacity %d wires)\n", rep.SegmentCapacity)
+		} else {
+			fmt.Printf("DRC           : %d violations (segment capacity %d)\n", len(rep.Violations), rep.SegmentCapacity)
+			for i, v := range rep.Violations {
+				if i == 8 {
+					fmt.Printf("                … %d more\n", len(rep.Violations)-i)
+					break
+				}
+				fmt.Printf("                %v\n", v)
+			}
+		}
+	}
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		err = copack.WriteSolution(f, p, res.Assignment)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("design file   : %s (with planned order)\n", cfg.out)
+	}
+
+	if svgPath != "" {
+		r, err := copack.RealizeRouting(p, res.Assignment)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(svgPath, copack.RoutingSVG(p, r, tc.Name), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("routing plot  : %s\n", svgPath)
+	}
+	if irPath != "" {
+		sol, err := copack.SolveIRDrop(p, res.Assignment, copack.DefaultChipGrid(p))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(irPath, copack.IRMapSVG(p, res.Assignment, sol, tc.Name), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("IR heat map   : %s\n", irPath)
+	}
+	return nil
+}

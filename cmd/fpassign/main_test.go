@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratedInstance(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		circuit: 1, alg: "dfa", tiers: 1, seed: 1, skipExchange: true,
+		runDRC: true, improveVias: true,
+		out:     filepath.Join(dir, "plan.copack"),
+		svgPath: filepath.Join(dir, "r.svg"),
+		irPath:  filepath.Join(dir, "ir.svg"),
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"plan.copack", "r.svg", "ir.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil || len(data) == 0 {
+			t.Errorf("%s: %v (%d bytes)", f, err, len(data))
+		}
+	}
+	// The emitted plan file must round-trip through -in.
+	cfg2 := config{in: filepath.Join(dir, "plan.copack"), alg: "ifa", seed: 1, skipExchange: true}
+	if err := run(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := os.ReadFile(filepath.Join(dir, "plan.copack"))
+	if !strings.Contains(string(plan), "order bottom") {
+		t.Error("plan file lacks the planned order")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(config{circuit: 9, alg: "dfa"}); err == nil {
+		t.Error("bad circuit number accepted")
+	}
+	if err := run(config{circuit: 1, alg: "banana"}); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run(config{in: "/nonexistent/file.copack", alg: "dfa"}); err == nil {
+		t.Error("missing input file accepted")
+	}
+	if err := run(config{circuit: 0, fingers: 3, alg: "dfa", tiers: 1}); err == nil {
+		t.Error("impossible custom instance accepted")
+	}
+}

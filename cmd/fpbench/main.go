@@ -1,0 +1,176 @@
+// Command fpbench regenerates the paper's tables and figures (see
+// EXPERIMENTS.md for the paper-vs-measured record).
+//
+// Usage:
+//
+//	fpbench -table 2            # Table 2: density/wirelength comparison
+//	fpbench -table 3            # Table 3: exchange results, ψ ∈ {1,4}
+//	fpbench -fig 6 -out plots/  # Fig 6: IR maps (writes SVGs)
+//	fpbench -all -out plots/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"copack/internal/exp"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate a table (1, 2 or 3)")
+		fig      = flag.Int("fig", 0, "regenerate a figure (5, 6, 13 or 15)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", ".", "directory for SVG artifacts")
+		quick    = flag.Bool("quick", false, "faster, lower-fidelity Fig 6")
+		sweep    = flag.Int("sweep", 0, "re-run Table 2 over this many seeds and report ratio distributions")
+		sweep3   = flag.Int("sweep3", 0, "re-run Table 3 over this many seeds and report improvement distributions")
+		flipchip = flag.Bool("flipchip", false, "compare wire-bond vs flip-chip IR-drop (the paper's §2.4 motivation)")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "fpbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	any := false
+	if *all || *table == 1 {
+		any = true
+		run("table1", func() error {
+			fmt.Println("== Table 1: test circuits ==")
+			fmt.Println(exp.Table1Text())
+			return nil
+		})
+	}
+	if *all || *table == 2 {
+		any = true
+		run("table2", func() error {
+			res, err := exp.Table2(*seed, 10)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Table 2: max density and wirelength (paper avg ratios: 0.63/0.36 density, 0.88/0.82 WL) ==")
+			fmt.Println(res.Format())
+			return nil
+		})
+	}
+	if *all || *table == 3 {
+		any = true
+		run("table3", func() error {
+			res, err := exp.Table3(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Table 3: finger/pad exchange (paper: IR 10.61% @ψ=1, 4.58% @ψ=4, bonding 15.66%) ==")
+			fmt.Println(res.Format())
+			return nil
+		})
+	}
+	if *all || *fig == 5 {
+		any = true
+		run("fig5", func() error {
+			f, err := exp.Fig5()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Fig 5/10/12: worked example ==")
+			fmt.Println(f.Format())
+			return nil
+		})
+	}
+	if *all || *fig == 13 {
+		any = true
+		run("fig13", func() error {
+			f, err := exp.Fig13()
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Fig 13: 20-net example ==")
+			fmt.Println(f.Format())
+			return nil
+		})
+	}
+	if *all || *fig == 6 {
+		any = true
+		run("fig6", func() error {
+			res, err := exp.Fig6(*seed, *quick)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Fig 6: IR-drop of the 138-pad chip (paper: 117.4 / 77.3 / 55.2 mV) ==")
+			for _, name := range []string{"random", "regular", "proposed"} {
+				fmt.Printf("%-9s: %.1f mV\n", name, res.Drop[name]*1000)
+				path := filepath.Join(*out, "fig6_"+name+".svg")
+				if err := os.WriteFile(path, res.SVG[name], 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("           wrote %s\n", path)
+			}
+			return nil
+		})
+	}
+	if *all || *fig == 15 {
+		any = true
+		run("fig15", func() error {
+			res, err := exp.Fig15(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Fig 15: circuit 2 routing plots ==")
+			for _, name := range []string{"random", "ifa", "dfa"} {
+				fmt.Printf("%-7s: density %d, wirelength %.1f µm\n", name, res.Density[name], res.Wirelen[name])
+				path := filepath.Join(*out, "fig15_"+name+".svg")
+				if err := os.WriteFile(path, res.SVG[name], 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("         wrote %s\n", path)
+			}
+			return nil
+		})
+	}
+	if *sweep > 0 {
+		any = true
+		run("sweep", func() error {
+			res, err := exp.SweepTable2(exp.Seeds(*sweep), 10)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Table 2 seed sweep ==")
+			fmt.Println(res.Format())
+			return nil
+		})
+	}
+	if *sweep3 > 0 {
+		any = true
+		run("sweep3", func() error {
+			res, err := exp.SweepTable3(exp.Seeds(*sweep3))
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Table 3 seed sweep ==")
+			fmt.Println(res.Format())
+			return nil
+		})
+	}
+	if *all || *flipchip {
+		any = true
+		run("flipchip", func() error {
+			res, err := exp.FlipChip(nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Wire-bond vs flip-chip IR-drop (paper §2.4) ==")
+			fmt.Println(res.Format())
+			return nil
+		})
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,69 @@
+// Command fpplot renders the package routing and core IR-drop map of one
+// instance under each assignment method, producing a side-by-side set of
+// SVGs like the paper's Fig 15.
+//
+// Usage:
+//
+//	fpplot -circuit 2 -out plots/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"copack"
+)
+
+func main() {
+	var (
+		circuit = flag.Int("circuit", 2, "Table 1 circuit number 1..5")
+		seed    = flag.Int64("seed", 1, "random seed")
+		tiers   = flag.Int("tiers", 1, "stacking tier count ψ")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+	if err := run(*circuit, *seed, *tiers, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "fpplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(circuit int, seed int64, tiers int, out string) error {
+	if circuit < 1 || circuit > 5 {
+		return fmt.Errorf("circuit %d outside 1..5", circuit)
+	}
+	tc := copack.Table1Circuits()[circuit-1]
+	p, err := copack.BuildCircuit(tc, copack.BuildOptions{Seed: seed, Tiers: tiers})
+	if err != nil {
+		return err
+	}
+	for _, alg := range []copack.Algorithm{copack.RandomAssign, copack.IFA, copack.DFA} {
+		res, err := copack.Plan(p, copack.Options{Algorithm: alg, SkipExchange: true, Seed: seed})
+		if err != nil {
+			return err
+		}
+		r, err := copack.RealizeRouting(p, res.Assignment)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("%s %v: density %d", tc.Name, alg, res.InitialStats.MaxDensity)
+		path := filepath.Join(out, fmt.Sprintf("%s_%v_routing.svg", tc.Name, alg))
+		if err := os.WriteFile(path, copack.RoutingSVG(p, r, title), 0o644); err != nil {
+			return err
+		}
+		sol, err := copack.SolveIRDrop(p, res.Assignment, copack.DefaultChipGrid(p))
+		if err != nil {
+			return err
+		}
+		irPath := filepath.Join(out, fmt.Sprintf("%s_%v_ir.svg", tc.Name, alg))
+		irTitle := fmt.Sprintf("%s %v: %.1f mV", tc.Name, alg, sol.MaxDrop()*1000)
+		if err := os.WriteFile(irPath, copack.IRMapSVG(p, res.Assignment, sol, irTitle), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%v: density %d, IR %.1f mV -> %s, %s\n",
+			alg, res.InitialStats.MaxDensity, sol.MaxDrop()*1000, path, irPath)
+	}
+	return nil
+}

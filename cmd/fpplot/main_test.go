@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesAllPlots(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(1, 1, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var routing, ir int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), "_routing.svg"):
+			routing++
+		case strings.HasSuffix(e.Name(), "_ir.svg"):
+			ir++
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil || len(data) == 0 {
+			t.Errorf("%s: %v (%d bytes)", e.Name(), err, len(data))
+		}
+	}
+	if routing != 3 || ir != 3 {
+		t.Errorf("wrote %d routing and %d IR plots, want 3+3", routing, ir)
+	}
+}
+
+func TestRunRejectsBadCircuit(t *testing.T) {
+	if err := run(0, 1, 1, t.TempDir()); err == nil {
+		t.Error("circuit 0 accepted")
+	}
+	if err := run(6, 1, 1, t.TempDir()); err == nil {
+		t.Error("circuit 6 accepted")
+	}
+}

@@ -1,0 +1,353 @@
+// Package copack is a chip-package co-design library: it decides the order
+// of nets on a BGA package's finger ring (equivalently, the chip's pad
+// ring) so that the package routes with low wire congestion and short
+// wirelength, the chip core sees low IR-drop, and — for stacked (SiP/3-D)
+// dies — the bonding wires stay short.
+//
+// It is a from-scratch reproduction of Lu, Chen, Liu and Shih,
+// "Package routability- and IR-drop-aware finger/pad assignment in
+// chip-package co-design" (DATE 2009) and its journal extension in
+// INTEGRATION, the VLSI Journal (2012). See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduced evaluation.
+//
+// The typical flow is two calls:
+//
+//	p, _ := copack.BuildCircuit(copack.Table1Circuits()[0], copack.BuildOptions{Seed: 1})
+//	res, _ := copack.Plan(p, copack.Options{})
+//
+// Plan runs a congestion-driven assignment (DFA by default) followed by the
+// simulated-annealing finger/pad exchange, and reports densities,
+// wirelength, IR-drop and bonding metrics before and after.
+package copack
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"copack/internal/anneal"
+	"copack/internal/assign"
+	"copack/internal/bga"
+	"copack/internal/core"
+	"copack/internal/design"
+	"copack/internal/drc"
+	"copack/internal/exchange"
+	"copack/internal/floorplan"
+	"copack/internal/gen"
+	"copack/internal/netlist"
+	"copack/internal/power"
+	"copack/internal/route"
+	"copack/internal/stack"
+	"copack/internal/svgplot"
+)
+
+// Re-exported domain types. The aliases make the internal packages' types
+// part of the public API without duplicating them.
+type (
+	// Problem couples a circuit, a BGA package and the tier count ψ.
+	Problem = core.Problem
+	// Assignment is the per-quadrant net order on the finger ring.
+	Assignment = core.Assignment
+	// Circuit is the set of chip nets.
+	Circuit = netlist.Circuit
+	// Net is one chip net.
+	Net = netlist.Net
+	// NetClass is signal/power/ground.
+	NetClass = netlist.NetClass
+	// NetID identifies a net within its circuit.
+	NetID = netlist.ID
+	// Package is the four-quadrant BGA model.
+	Package = bga.Package
+	// Side names a package quadrant.
+	Side = bga.Side
+	// RouteStats is the density/wirelength evaluation of an assignment.
+	RouteStats = route.Stats
+	// Routing is a fully realized wire geometry.
+	Routing = route.Routing
+	// GridSpec is the IR-drop power-grid model.
+	GridSpec = power.GridSpec
+	// IRSolution is a solved power grid.
+	IRSolution = power.Solution
+	// ExchangeResult reports a finger/pad exchange run.
+	ExchangeResult = exchange.Result
+	// ExchangeMetrics is the before/after quality snapshot.
+	ExchangeMetrics = exchange.Metrics
+	// Schedule is the annealing schedule.
+	Schedule = anneal.Schedule
+	// TestCircuit is a Table 1-style instance description.
+	TestCircuit = gen.TestCircuit
+	// BuildOptions controls instance generation.
+	BuildOptions = gen.Options
+	// BondSpec is the stacked-die bonding-wire geometry.
+	BondSpec = stack.BondSpec
+	// DRCRules are the routing design rules (wire width/space).
+	DRCRules = drc.Rules
+	// DRCReport lists design-rule violations.
+	DRCReport = drc.Report
+	// ViaPlan overrides default via sites (the [10]-style improvement).
+	ViaPlan = route.ViaPlan
+	// Floorplan shapes the core's current map from placed blocks.
+	Floorplan = floorplan.Floorplan
+	// FloorplanBlock is one placed macro.
+	FloorplanBlock = floorplan.Block
+)
+
+// Net classes.
+const (
+	Signal = netlist.Signal
+	Power  = netlist.Power
+	Ground = netlist.Ground
+)
+
+// Package sides.
+const (
+	Bottom = bga.Bottom
+	Right  = bga.Right
+	Top    = bga.Top
+	Left   = bga.Left
+)
+
+// Algorithm selects the congestion-driven assignment method.
+type Algorithm int
+
+const (
+	// DFA is the density-interval-based method — the paper's best.
+	DFA Algorithm = iota
+	// IFA is the intuitive-insertion-based method.
+	IFA
+	// RandomAssign is the monotonic-legal random baseline.
+	RandomAssign
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case DFA:
+		return "dfa"
+	case IFA:
+		return "ifa"
+	case RandomAssign:
+		return "random"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a CLI token to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "dfa":
+		return DFA, nil
+	case "ifa":
+		return IFA, nil
+	case "random":
+		return RandomAssign, nil
+	default:
+		return 0, fmt.Errorf("copack: unknown algorithm %q (want dfa, ifa or random)", s)
+	}
+}
+
+// Options configures Plan.
+type Options struct {
+	// Algorithm is the congestion-driven assignment step (default DFA).
+	Algorithm Algorithm
+	// DFACut is the paper's cut-line parameter n (default 1).
+	DFACut int
+	// SkipExchange stops after the congestion-driven step.
+	SkipExchange bool
+	// Exchange tunes the annealing step; the zero value uses the
+	// defaults of the exchange package.
+	Exchange ExchangeOptions
+	// Seed drives every random choice (baseline assignment and
+	// annealing).
+	Seed int64
+	// Grid is the IR-drop model used for reporting; the zero value uses
+	// a default sized to the package.
+	Grid GridSpec
+}
+
+// ExchangeOptions re-exports the exchange step's tuning knobs.
+type ExchangeOptions = exchange.Options
+
+// Result is the outcome of Plan.
+type Result struct {
+	// Assignment is the final finger/pad order.
+	Assignment *Assignment
+	// Initial is the congestion-driven order before exchanging (equal to
+	// Assignment when SkipExchange is set).
+	Initial *Assignment
+	// InitialStats and FinalStats are the routing evaluations.
+	InitialStats, FinalStats *RouteStats
+	// Exchange is the annealer's report (nil when SkipExchange).
+	Exchange *ExchangeResult
+	// IRDropBefore and IRDropAfter are the solved maximum core IR-drops
+	// in volts.
+	IRDropBefore, IRDropAfter float64
+	// OmegaBefore and OmegaAfter are the bonding-wire interleaving
+	// metrics (0 for 2-D ICs).
+	OmegaBefore, OmegaAfter int
+}
+
+// Plan runs the paper's two-step flow on a problem: congestion-driven
+// assignment, then the IR-drop- and bonding-aware finger/pad exchange.
+func Plan(p *Problem, opt Options) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("copack: nil problem")
+	}
+	var initial *Assignment
+	var err error
+	switch opt.Algorithm {
+	case DFA:
+		initial, err = assign.DFA(p, assign.DFAOptions{Cut: opt.DFACut})
+	case IFA:
+		initial, err = assign.IFA(p)
+	case RandomAssign:
+		initial, err = assign.Random(p, rand.New(rand.NewSource(opt.Seed)))
+	default:
+		err = fmt.Errorf("copack: unknown algorithm %v", opt.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Initial: initial, Assignment: initial}
+	if res.InitialStats, err = route.Evaluate(p, initial); err != nil {
+		return nil, err
+	}
+	res.FinalStats = res.InitialStats
+
+	grid := opt.Grid
+	if grid.Nx == 0 || grid.Ny == 0 {
+		grid = power.DefaultChipGrid(p)
+	}
+	solveDrop := func(a *Assignment) (float64, error) {
+		sol, err := power.SolveAssignment(p, a, grid, power.SolveOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return sol.MaxDrop(), nil
+	}
+	if res.IRDropBefore, err = solveDrop(initial); err != nil {
+		return nil, err
+	}
+	res.IRDropAfter = res.IRDropBefore
+	res.OmegaBefore = stack.OmegaAssignment(p, initial)
+	res.OmegaAfter = res.OmegaBefore
+
+	if opt.SkipExchange {
+		return res, nil
+	}
+
+	exOpt := opt.Exchange
+	if exOpt.Seed == 0 {
+		exOpt.Seed = opt.Seed
+	}
+	ex, err := exchange.Run(p, initial, exOpt)
+	if err != nil {
+		return nil, err
+	}
+	res.Exchange = ex
+	res.Assignment = ex.Assignment
+	if res.FinalStats, err = route.Evaluate(p, ex.Assignment); err != nil {
+		return nil, err
+	}
+	if res.IRDropAfter, err = solveDrop(ex.Assignment); err != nil {
+		return nil, err
+	}
+	res.OmegaAfter = ex.After.Omega
+	return res, nil
+}
+
+// --- Re-exported constructors and helpers ------------------------------------
+
+// Table1Circuits returns the paper's five test circuits.
+func Table1Circuits() []TestCircuit { return gen.Table1() }
+
+// BuildCircuit constructs a problem instance from a Table 1-style
+// description.
+func BuildCircuit(tc TestCircuit, opt BuildOptions) (*Problem, error) {
+	return gen.Build(tc, opt)
+}
+
+// NewProblem validates and couples a circuit, package and tier count.
+func NewProblem(c *Circuit, pkg *Package, tiers int) (*Problem, error) {
+	return core.NewProblem(c, pkg, tiers)
+}
+
+// ParseCircuit reads a circuit from the text format of the netlist package.
+func ParseCircuit(text string) (*Circuit, error) { return netlist.Parse(text) }
+
+// CheckMonotonic verifies the via-order rule that guarantees a legal
+// monotonic package routing.
+func CheckMonotonic(p *Problem, a *Assignment) error { return core.CheckMonotonic(p, a) }
+
+// EvaluateRouting computes density and wirelength for an assignment.
+func EvaluateRouting(p *Problem, a *Assignment) (*RouteStats, error) {
+	return route.Evaluate(p, a)
+}
+
+// RealizeRouting produces concrete wire geometry for an assignment.
+func RealizeRouting(p *Problem, a *Assignment) (*Routing, error) {
+	return route.Realize(p, a)
+}
+
+// RoutingSVG renders a realized routing as an SVG document.
+func RoutingSVG(p *Problem, r *Routing, title string) []byte {
+	return svgplot.Routing(p, r, title)
+}
+
+// DefaultChipGrid returns an IR-drop grid sized to the problem's package.
+func DefaultChipGrid(p *Problem) GridSpec { return power.DefaultChipGrid(p) }
+
+// SolveIRDrop solves the core power grid under an assignment's supply pads.
+func SolveIRDrop(p *Problem, a *Assignment, g GridSpec) (*IRSolution, error) {
+	return power.SolveAssignment(p, a, g, power.SolveOptions{})
+}
+
+// IRMapSVG renders a solved power grid as a heat-map SVG.
+func IRMapSVG(p *Problem, a *Assignment, sol *IRSolution, title string) []byte {
+	return svgplot.IRMap(sol, power.PadsForAssignment(p, a, sol.Spec), title)
+}
+
+// TotalBondLength sums the stacked-die bonding-wire length model.
+func TotalBondLength(p *Problem, a *Assignment, spec BondSpec) float64 {
+	return stack.TotalBondLength(p, a, spec)
+}
+
+// DefaultBondSpec sizes the bonding pyramid to the package.
+func DefaultBondSpec(p *Problem) BondSpec { return stack.DefaultBondSpec(p) }
+
+// CheckDesignRules runs the full design-rule check: static spec rules,
+// monotonic routability and per-segment wire capacity.
+func CheckDesignRules(p *Problem, a *Assignment, rules DRCRules) (*DRCReport, error) {
+	return drc.Check(p, a, rules)
+}
+
+// ReadDesign parses a complete problem (circuit + package + ball map) from
+// the design file format documented in internal/design.
+func ReadDesign(r io.Reader) (*Problem, error) { return design.Read(r) }
+
+// ParseDesign parses a design file from a string.
+func ParseDesign(text string) (*Problem, error) { return design.Parse(text) }
+
+// WriteDesign serializes a problem in the design file format.
+func WriteDesign(w io.Writer, p *Problem) error { return design.Write(w, p) }
+
+// FormatDesign renders a problem as a design-file string.
+func FormatDesign(p *Problem) string { return design.Format(p) }
+
+// WriteSolution serializes a problem plus a planned finger order (order
+// directives) so downstream tools see both the instance and the plan.
+func WriteSolution(w io.Writer, p *Problem, a *Assignment) error {
+	return design.WriteSolution(w, p, a)
+}
+
+// ReadSolution parses a design file, returning the assignment carried by
+// its order directives (nil when absent).
+func ReadSolution(r io.Reader) (*Problem, *Assignment, error) { return design.ReadSolution(r) }
+
+// ImproveVias runs the Kubo–Takahashi-style iterative via improvement on
+// every quadrant of an assignment, returning the per-quadrant via plans and
+// the improved routing stats. It never worsens the density.
+func ImproveVias(p *Problem, a *Assignment, maxPasses int) ([4]ViaPlan, *RouteStats, error) {
+	return route.ImproveViasAll(p, a, maxPasses)
+}

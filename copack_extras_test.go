@@ -1,0 +1,81 @@
+package copack
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDesignRoundTripThroughFacade(t *testing.T) {
+	p := buildTest(t, 4)
+	text := FormatDesign(p)
+	got, err := ParseDesign(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if got.Circuit.NumNets() != p.Circuit.NumNets() || got.Tiers != p.Tiers {
+		t.Errorf("round trip lost data: %d/%d nets, %d/%d tiers",
+			got.Circuit.NumNets(), p.Circuit.NumNets(), got.Tiers, p.Tiers)
+	}
+	// A plan on the re-read problem must work end to end.
+	res, err := Plan(got, Options{SkipExchange: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialStats.MaxDensity <= 0 {
+		t.Error("no density on re-read problem")
+	}
+}
+
+func TestCheckDesignRulesThroughFacade(t *testing.T) {
+	p := buildTest(t, 1)
+	res, err := Plan(p, Options{SkipExchange: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckDesignRules(p, res.Assignment, DRCRules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("DFA plan violates default rules: %v", rep.Violations)
+	}
+	// Impossible rules must flag the spec.
+	bad, err := CheckDesignRules(p, res.Assignment, DRCRules{WireWidth: 100, WireSpace: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.OK() {
+		t.Error("impossible rules passed")
+	}
+}
+
+func TestImproveViasThroughFacade(t *testing.T) {
+	p := buildTest(t, 1)
+	res, err := Plan(p, Options{Algorithm: RandomAssign, SkipExchange: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, st, err := ImproveVias(p, res.Assignment, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxDensity > res.InitialStats.MaxDensity {
+		t.Errorf("via improvement worsened density: %d -> %d",
+			res.InitialStats.MaxDensity, st.MaxDensity)
+	}
+	for side, plan := range plans {
+		if plan == nil {
+			t.Errorf("side %d: nil plan", side)
+		}
+	}
+}
+
+func TestFormatDesignIsParseable(t *testing.T) {
+	p := buildTest(t, 1)
+	text := FormatDesign(p)
+	for _, directive := range []string{"circuit ", "package ", "spec ball", "spec finger", "spec rows", "quadrant bottom", "row "} {
+		if !strings.Contains(text, directive) {
+			t.Errorf("design text missing %q", directive)
+		}
+	}
+}

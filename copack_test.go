@@ -1,0 +1,167 @@
+package copack
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildTest(t *testing.T, tiers int) *Problem {
+	t.Helper()
+	p, err := BuildCircuit(Table1Circuits()[0], BuildOptions{Seed: 1, Tiers: tiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func quickOpts() Options {
+	return Options{
+		Seed: 1,
+		Exchange: ExchangeOptions{
+			Schedule: Schedule{InitialTemp: 0.5, FinalTemp: 1e-3, Cooling: 0.85, MovesPerTemp: 150},
+		},
+	}
+}
+
+func TestPlanDefaultFlow(t *testing.T) {
+	p := buildTest(t, 1)
+	res, err := Plan(p, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment == nil || res.Initial == nil || res.Exchange == nil {
+		t.Fatal("incomplete result")
+	}
+	if err := CheckMonotonic(p, res.Assignment); err != nil {
+		t.Errorf("final assignment illegal: %v", err)
+	}
+	if res.IRDropAfter >= res.IRDropBefore {
+		t.Errorf("IR-drop not improved: %v -> %v", res.IRDropBefore, res.IRDropAfter)
+	}
+	if res.FinalStats.MaxDensity > res.InitialStats.MaxDensity+3 {
+		t.Errorf("density grew too much: %d -> %d", res.InitialStats.MaxDensity, res.FinalStats.MaxDensity)
+	}
+}
+
+func TestPlanSkipExchange(t *testing.T) {
+	p := buildTest(t, 1)
+	res, err := Plan(p, Options{SkipExchange: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exchange != nil {
+		t.Error("exchange ran despite SkipExchange")
+	}
+	if res.Assignment != res.Initial {
+		t.Error("assignment should be the initial order")
+	}
+	if res.IRDropAfter != res.IRDropBefore {
+		t.Error("IR should be unchanged")
+	}
+}
+
+func TestPlanAlgorithms(t *testing.T) {
+	p := buildTest(t, 1)
+	var densities []int
+	for _, alg := range []Algorithm{RandomAssign, IFA, DFA} {
+		res, err := Plan(p, Options{Algorithm: alg, SkipExchange: true, Seed: 7})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		densities = append(densities, res.InitialStats.MaxDensity)
+	}
+	// random >= ifa >= dfa
+	if !(densities[2] <= densities[1] && densities[1] <= densities[0]) {
+		t.Errorf("density order broken: %v", densities)
+	}
+	if _, err := Plan(p, Options{Algorithm: Algorithm(9)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestPlanStacking(t *testing.T) {
+	p := buildTest(t, 4)
+	res, err := Plan(p, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OmegaAfter >= res.OmegaBefore {
+		t.Errorf("ω not improved: %d -> %d", res.OmegaBefore, res.OmegaAfter)
+	}
+	if TotalBondLength(p, res.Assignment, DefaultBondSpec(p)) <= 0 {
+		t.Error("bond length should be positive")
+	}
+}
+
+func TestPlanNilProblem(t *testing.T) {
+	if _, err := Plan(nil, Options{}); err == nil {
+		t.Error("nil problem accepted")
+	}
+}
+
+func TestAlgorithmParsing(t *testing.T) {
+	for _, name := range []string{"dfa", "ifa", "random"} {
+		alg, err := ParseAlgorithm(name)
+		if err != nil || alg.String() != name {
+			t.Errorf("round trip %q failed: %v %v", name, alg, err)
+		}
+	}
+	if _, err := ParseAlgorithm("banana"); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if !strings.HasPrefix(Algorithm(9).String(), "Algorithm(") {
+		t.Error("unknown algorithm String")
+	}
+}
+
+func TestParseCircuit(t *testing.T) {
+	c, err := ParseCircuit("circuit demo\nnet a signal\nnet v power\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNets() != 2 {
+		t.Errorf("nets = %d", c.NumNets())
+	}
+}
+
+func TestRoutingAndPlots(t *testing.T) {
+	p := buildTest(t, 1)
+	res, err := Plan(p, Options{SkipExchange: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RealizeRouting(p, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := RoutingSVG(p, r, "test")
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("routing SVG malformed")
+	}
+	sol, err := SolveIRDrop(p, res.Assignment, DefaultChipGrid(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxDrop() <= 0 {
+		t.Error("no IR-drop solved")
+	}
+	heat := IRMapSVG(p, res.Assignment, sol, "heat")
+	if !strings.Contains(string(heat), "<svg") {
+		t.Error("IR SVG malformed")
+	}
+}
+
+func TestEvaluateRoutingMatchesPlanStats(t *testing.T) {
+	p := buildTest(t, 1)
+	res, err := Plan(p, Options{SkipExchange: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := EvaluateRouting(p, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxDensity != res.InitialStats.MaxDensity {
+		t.Errorf("densities differ: %d vs %d", st.MaxDensity, res.InitialStats.MaxDensity)
+	}
+}

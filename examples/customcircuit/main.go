@@ -1,0 +1,119 @@
+// Custom circuit: build a problem by hand — your own netlist text, your own
+// bump-ball map — instead of using the Table 1 generator. This is the path
+// a real design flow would take: the netlist and the ball-out come from the
+// chip and board teams, and copack plans the finger ring between them.
+//
+//	go run ./examples/customcircuit
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"copack"
+	"copack/internal/bga"
+	"copack/internal/netlist"
+)
+
+// A tiny chip: a byte-wide bus, a clock, and a power/ground pair per side.
+const circuitText = `
+circuit demochip
+# bottom-side nets
+net d0 signal
+net d1 signal
+net d2 signal
+net d3 signal
+net vdd0 power
+net gnd0 ground
+# right-side nets
+net d4 signal
+net d5 signal
+net d6 signal
+net d7 signal
+net vdd1 power
+net gnd1 ground
+# top-side nets
+net clk signal
+net rst signal
+net irq signal
+net ack signal
+net vdd2 power
+net gnd2 ground
+# left-side nets
+net a0 signal
+net a1 signal
+net a2 signal
+net a3 signal
+net vdd3 power
+net gnd3 ground
+`
+
+func main() {
+	c, err := copack.ParseCircuit(circuitText)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The bump-ball map comes from the board team: per quadrant, two
+	// lines of three balls each (plus a spare via site per line). IDs
+	// are looked up by net name.
+	id := func(name string) netlist.ID {
+		v, ok := c.ByName(name)
+		if !ok {
+			log.Fatalf("no net %q", name)
+		}
+		return v
+	}
+	row := func(names ...string) bga.Row {
+		nets := make([]netlist.ID, 0, len(names)+1)
+		for _, n := range names {
+			nets = append(nets, id(n))
+		}
+		return bga.Row{Nets: append(nets, bga.NoNet)}
+	}
+	mkQuad := func(side bga.Side, top, bottom bga.Row) *bga.Quadrant {
+		q, err := bga.NewQuadrant(side, []bga.Row{top, bottom})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return q
+	}
+	quads := [bga.NumSides]*bga.Quadrant{
+		bga.Bottom: mkQuad(bga.Bottom, row("vdd0", "d1", "d3"), row("d0", "gnd0", "d2")),
+		bga.Right:  mkQuad(bga.Right, row("d5", "vdd1", "d7"), row("d4", "d6", "gnd1")),
+		bga.Top:    mkQuad(bga.Top, row("clk", "irq", "vdd2"), row("rst", "gnd2", "ack")),
+		bga.Left:   mkQuad(bga.Left, row("a1", "gnd3", "a3"), row("a0", "a2", "vdd3")),
+	}
+	spec := bga.Spec{
+		Name:         "demochip",
+		BallDiameter: 0.2, BallSpace: 1.2, ViaDiameter: 0.1,
+		FingerWidth: 0.1, FingerHeight: 0.2, FingerSpace: 0.12,
+		Rows: 2,
+	}
+	pkg, err := bga.NewPackage(spec, quads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := copack.NewProblem(c, pkg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := copack.Plan(p, copack.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("demochip: %d nets planned\n", c.NumNets())
+	fmt.Printf("max density %d, wirelength %.1f µm, IR-drop %.2f -> %.2f mV\n\n",
+		res.FinalStats.MaxDensity, res.FinalStats.Wirelength,
+		res.IRDropBefore*1000, res.IRDropAfter*1000)
+	for _, side := range []copack.Side{copack.Bottom, copack.Right, copack.Top, copack.Left} {
+		names := make([]string, 0, len(res.Assignment.Slots[side]))
+		for _, nid := range res.Assignment.Slots[side] {
+			names = append(names, c.Net(nid).Name)
+		}
+		fmt.Printf("%-6v fingers: %s\n", side, strings.Join(names, " "))
+	}
+}

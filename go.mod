@@ -1,0 +1,3 @@
+module copack
+
+go 1.22

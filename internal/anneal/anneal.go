@@ -1,0 +1,152 @@
+// Package anneal provides the generic simulated-annealing engine behind the
+// paper's finger/pad exchange method (Fig 14). The engine is
+// domain-agnostic: callers supply a neighborhood via Propose and the engine
+// runs a geometric cooling schedule with Metropolis acceptance.
+//
+// The paper's pseudocode writes its acceptance test as
+// "Random(0,1) > exp(−ΔC/Temperature)"; as printed that accepts *worse*
+// moves more often when they are much worse, which cannot be intended. We
+// implement the standard Metropolis rule (accept uphill moves with
+// probability exp(−ΔC/T)), which is what reference [7] (Kirkpatrick et al.)
+// defines and what the paper cites.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Target is the state being annealed. Implementations mutate themselves in
+// Propose and must be able to revert the mutation.
+type Target interface {
+	// Propose applies a random neighbor move and returns the cost delta
+	// it caused together with a revert function. ok=false means no move
+	// was applied (for example, the sampled move was illegal); the engine
+	// counts it and tries again.
+	Propose(rng *rand.Rand) (delta float64, revert func(), ok bool)
+}
+
+// Snapshotter is an optional Target extension: when implemented, the engine
+// calls Snapshot every time the current state's cost is the best seen, so
+// the caller can keep the best state instead of settling for the final one.
+type Snapshotter interface {
+	Snapshot()
+}
+
+// Schedule is a geometric cooling schedule.
+type Schedule struct {
+	// InitialTemp and FinalTemp bound the temperature range. The run
+	// stops when the temperature cools below FinalTemp.
+	InitialTemp, FinalTemp float64
+	// Cooling multiplies the temperature after each plateau (0 < Cooling
+	// < 1). Default 0.92.
+	Cooling float64
+	// MovesPerTemp is the number of proposals per plateau. Default 64.
+	MovesPerTemp int
+	// StallPlateaus stops the run early after this many consecutive
+	// plateaus without an accepted move (0 disables).
+	StallPlateaus int
+}
+
+func (s Schedule) withDefaults() Schedule {
+	if s.InitialTemp == 0 {
+		s.InitialTemp = 1.0
+	}
+	if s.FinalTemp == 0 {
+		s.FinalTemp = 1e-4
+	}
+	if s.Cooling == 0 {
+		s.Cooling = 0.92
+	}
+	if s.MovesPerTemp == 0 {
+		s.MovesPerTemp = 64
+	}
+	return s
+}
+
+// Validate rejects schedules that cannot terminate.
+func (s Schedule) Validate() error {
+	s2 := s.withDefaults()
+	switch {
+	case s2.InitialTemp <= 0 || s2.FinalTemp <= 0:
+		return fmt.Errorf("anneal: temperatures must be positive (got %g..%g)", s2.InitialTemp, s2.FinalTemp)
+	case s2.FinalTemp > s2.InitialTemp:
+		return fmt.Errorf("anneal: FinalTemp %g above InitialTemp %g", s2.FinalTemp, s2.InitialTemp)
+	case s2.Cooling <= 0 || s2.Cooling >= 1:
+		return fmt.Errorf("anneal: cooling factor %g outside (0,1)", s2.Cooling)
+	case s2.MovesPerTemp < 1:
+		return fmt.Errorf("anneal: MovesPerTemp %d < 1", s2.MovesPerTemp)
+	case s2.StallPlateaus < 0:
+		return fmt.Errorf("anneal: negative StallPlateaus")
+	}
+	return nil
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Plateaus   int
+	Proposed   int // moves applied and evaluated
+	Infeasible int // proposals rejected before evaluation (ok=false)
+	Accepted   int
+	Uphill     int // accepted moves with positive delta
+	FinalCost  float64
+	BestCost   float64
+}
+
+// Minimize anneals the target from initialCost and returns run statistics.
+// The target is left in its final state (cost FinalCost); a target that
+// implements Snapshotter additionally receives a Snapshot call at every new
+// best, so it can restore the BestCost state afterwards.
+func Minimize(t Target, initialCost float64, s Schedule, rng *rand.Rand) (Stats, error) {
+	if err := s.Validate(); err != nil {
+		return Stats{}, err
+	}
+	s = s.withDefaults()
+	cost := initialCost
+	stats := Stats{FinalCost: initialCost, BestCost: initialCost}
+	snapshotter, _ := t.(Snapshotter)
+	if snapshotter != nil {
+		snapshotter.Snapshot()
+	}
+	stall := 0
+	for temp := s.InitialTemp; temp >= s.FinalTemp; temp *= s.Cooling {
+		stats.Plateaus++
+		acceptedHere := 0
+		for move := 0; move < s.MovesPerTemp; move++ {
+			delta, revert, ok := t.Propose(rng)
+			if !ok {
+				stats.Infeasible++
+				continue
+			}
+			stats.Proposed++
+			accept := delta <= 0 || rng.Float64() < math.Exp(-delta/temp)
+			if !accept {
+				revert()
+				continue
+			}
+			stats.Accepted++
+			acceptedHere++
+			if delta > 0 {
+				stats.Uphill++
+			}
+			cost += delta
+			if cost < stats.BestCost {
+				stats.BestCost = cost
+				if snapshotter != nil {
+					snapshotter.Snapshot()
+				}
+			}
+		}
+		if acceptedHere == 0 {
+			stall++
+			if s.StallPlateaus > 0 && stall >= s.StallPlateaus {
+				break
+			}
+		} else {
+			stall = 0
+		}
+	}
+	stats.FinalCost = cost
+	return stats, nil
+}

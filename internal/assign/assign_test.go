@@ -1,0 +1,234 @@
+package assign
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"copack/internal/bga"
+	"copack/internal/core"
+	"copack/internal/gen"
+	"copack/internal/netlist"
+	"copack/internal/route"
+)
+
+func TestIFAReproducesFig10(t *testing.T) {
+	p := gen.Fig5()
+	got := IFAQuadrant(p.Pkg.Quadrant(bga.Bottom))
+	want := gen.Fig5IFAOrder() // 10,1,11,2,3,6,4,5,9,7,8,0
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("IFA order:\n got %v\nwant %v\n(names got %v)", got, want, gen.Names(p.Circuit, got))
+	}
+}
+
+func TestIFAReproducesFig13A(t *testing.T) {
+	p := gen.Fig13()
+	got := IFAQuadrant(p.Pkg.Quadrant(bga.Bottom))
+	want := gen.Fig13IFAOrder()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("IFA order:\n got %v\nwant %v", gen.Names(p.Circuit, got), gen.Names(p.Circuit, want))
+	}
+}
+
+func TestDFAReproducesFig12(t *testing.T) {
+	p := gen.Fig5()
+	got := DFAQuadrant(p.Pkg.Quadrant(bga.Bottom), DFAOptions{})
+	want := gen.Fig5DFAOrder() // 10,11,1,2,6,3,4,9,5,7,8,0
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DFA order:\n got %v\nwant %v\n(names got %v)", got, want, gen.Names(p.Circuit, got))
+	}
+}
+
+func TestDFAOnFig13BeatsIFA(t *testing.T) {
+	// The paper's printed Fig 13 DFA order is not derivable from its own
+	// pseudocode (see DESIGN.md); what must hold is the claim the figure
+	// makes: DFA's density beats IFA's density 6 on this instance.
+	p := gen.Fig13()
+	q := p.Pkg.Quadrant(bga.Bottom)
+	ifa, err := route.EvaluateQuadrant(p, bga.Bottom, IFAQuadrant(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfa, err := route.EvaluateQuadrant(p, bga.Bottom, DFAQuadrant(q, DFAOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifa.MaxDensity != 6 {
+		t.Errorf("IFA density = %d, want 6 (paper)", ifa.MaxDensity)
+	}
+	if dfa.MaxDensity >= ifa.MaxDensity {
+		t.Errorf("DFA density %d not better than IFA %d", dfa.MaxDensity, ifa.MaxDensity)
+	}
+}
+
+func TestRandomQuadrantLegalAndComplete(t *testing.T) {
+	p := gen.Fig13()
+	q := p.Pkg.Quadrant(bga.Bottom)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		order := RandomQuadrant(q, rng)
+		if len(order) != q.NumNets() {
+			t.Fatalf("order len %d, want %d", len(order), q.NumNets())
+		}
+		if err := core.CheckMonotonicQuadrant(q, order); err != nil {
+			t.Fatalf("random order illegal: %v", err)
+		}
+	}
+}
+
+func TestRandomIsRandomButSeeded(t *testing.T) {
+	p := gen.Fig13()
+	q := p.Pkg.Quadrant(bga.Bottom)
+	a := RandomQuadrant(q, rand.New(rand.NewSource(1)))
+	b := RandomQuadrant(q, rand.New(rand.NewSource(1)))
+	c := RandomQuadrant(q, rand.New(rand.NewSource(2)))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed gave different orders")
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds gave identical orders (suspicious)")
+	}
+}
+
+func TestFullAssignmentsOnTable1(t *testing.T) {
+	for _, tc := range gen.Table1() {
+		p := gen.MustBuild(tc, gen.Options{Seed: 11})
+		rng := rand.New(rand.NewSource(11))
+
+		rnd, err := Random(p, rng)
+		if err != nil {
+			t.Fatalf("%s random: %v", tc.Name, err)
+		}
+		ifa, err := IFA(p)
+		if err != nil {
+			t.Fatalf("%s ifa: %v", tc.Name, err)
+		}
+		dfa, err := DFA(p, DFAOptions{})
+		if err != nil {
+			t.Fatalf("%s dfa: %v", tc.Name, err)
+		}
+		for name, a := range map[string]*core.Assignment{"random": rnd, "ifa": ifa, "dfa": dfa} {
+			if err := core.CheckMonotonic(p, a); err != nil {
+				t.Errorf("%s %s: %v", tc.Name, name, err)
+			}
+		}
+
+		// The paper's headline trend: density(DFA) <= density(IFA) <=
+		// density(random) on every test circuit.
+		sr, err := route.Evaluate(p, rnd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		si, err := route.Evaluate(p, ifa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := route.Evaluate(p, dfa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(sd.MaxDensity <= si.MaxDensity && si.MaxDensity <= sr.MaxDensity) {
+			t.Errorf("%s: density order violated: dfa %d, ifa %d, random %d",
+				tc.Name, sd.MaxDensity, si.MaxDensity, sr.MaxDensity)
+		}
+		if sd.Wirelength >= sr.Wirelength {
+			t.Errorf("%s: DFA wirelength %v not shorter than random %v", tc.Name, sd.Wirelength, sr.Wirelength)
+		}
+	}
+}
+
+func TestDFACutParameter(t *testing.T) {
+	// Cut n=2 treats the outermost segments as shared with the
+	// neighboring quadrant; it must still produce a legal order.
+	p := gen.MustBuild(gen.Table1()[0], gen.Options{Seed: 5})
+	for _, cut := range []int{0, 1, 2, 3} {
+		a, err := DFA(p, DFAOptions{Cut: cut})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if err := core.CheckMonotonic(p, a); err != nil {
+			t.Errorf("cut %d: %v", cut, err)
+		}
+	}
+}
+
+// Property: IFA and DFA are monotonic-legal and complete on random
+// instances of many shapes and seeds.
+func TestAlgorithmsLegalProperty(t *testing.T) {
+	shapes := []gen.TestCircuit{
+		{Name: "tiny", Fingers: 16, BallSpace: 1, FingerW: 0.1, FingerH: 0.1, FingerSpace: 0.1},
+		{Name: "mid", Fingers: 64, BallSpace: 1, FingerW: 0.1, FingerH: 0.1, FingerSpace: 0.1},
+		{Name: "big", Fingers: 192, BallSpace: 1, FingerW: 0.1, FingerH: 0.1, FingerSpace: 0.1},
+	}
+	for _, sh := range shapes {
+		for seed := int64(0); seed < 8; seed++ {
+			p := gen.MustBuild(sh, gen.Options{Seed: seed})
+			for _, side := range bga.Sides() {
+				q := p.Pkg.Quadrant(side)
+				for name, order := range map[string][]netlist.ID{
+					"ifa": IFAQuadrant(q),
+					"dfa": DFAQuadrant(q, DFAOptions{}),
+				} {
+					if len(order) != q.NumNets() {
+						t.Fatalf("%s/%d/%v %s: wrong length", sh.Name, seed, side, name)
+					}
+					if err := core.CheckMonotonicQuadrant(q, order); err != nil {
+						t.Fatalf("%s/%d/%v %s: %v", sh.Name, seed, side, name, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// IFA on single-line quadrants must return the ball order unchanged.
+func TestIFASingleLine(t *testing.T) {
+	q, err := bga.NewQuadrant(bga.Bottom, []bga.Row{
+		{Nets: []netlist.ID{4, 2, 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := IFAQuadrant(q)
+	if !reflect.DeepEqual(got, []netlist.ID{4, 2, 7}) {
+		t.Errorf("IFA single line = %v", got)
+	}
+	gotD := DFAQuadrant(q, DFAOptions{})
+	if err := core.CheckMonotonicQuadrant(q, gotD); err != nil {
+		t.Errorf("DFA single line illegal: %v", err)
+	}
+}
+
+// A quadrant whose upper line is empty exercises IFA's degenerate branch.
+func TestIFAEmptyUpperLine(t *testing.T) {
+	q, err := bga.NewQuadrant(bga.Bottom, []bga.Row{
+		{Nets: []netlist.ID{bga.NoNet, bga.NoNet}},
+		{Nets: []netlist.ID{1, 2, 3, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := IFAQuadrant(q)
+	if len(got) != 4 {
+		t.Fatalf("IFA returned %v", got)
+	}
+	if err := core.CheckMonotonicQuadrant(q, got); err != nil {
+		t.Errorf("IFA with empty upper line illegal: %v", err)
+	}
+}
+
+func TestDFAOverfullBehavior(t *testing.T) {
+	// A bottom-heavy instance where a large fraction of nets sits on one
+	// line; DFA must stay legal (its EN values approach the clamp).
+	q, err := bga.NewQuadrant(bga.Bottom, []bga.Row{
+		{Nets: []netlist.ID{0}},
+		{Nets: []netlist.ID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DFAQuadrant(q, DFAOptions{})
+	if err := core.CheckMonotonicQuadrant(q, got); err != nil {
+		t.Errorf("DFA bottom-heavy illegal: %v (%v)", err, got)
+	}
+}

@@ -1,0 +1,70 @@
+package design
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"copack/internal/gen"
+)
+
+// Property: the parser never panics, whatever bytes it sees.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: single-line corruptions of a valid design either parse to a
+// valid problem or fail cleanly — never panic, never produce an invalid
+// problem.
+func TestQuickLineCorruptionsFailCleanly(t *testing.T) {
+	base := Format(gen.MustBuild(gen.Table1()[0], gen.Options{Seed: 2}))
+	lines := strings.Split(base, "\n")
+	f := func(lineIdx uint16, replacement string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		i := int(lineIdx) % len(lines)
+		mutated := append([]string(nil), lines...)
+		mutated[i] = replacement
+		p, err := Parse(strings.Join(mutated, "\n"))
+		if err != nil {
+			return true // clean rejection
+		}
+		// If it parsed, the resulting problem must be internally
+		// consistent (NewProblem validated it); spot-check.
+		return p.Circuit.NumNets() == p.Pkg.NumNets()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: deleting any one line either fails cleanly or still yields a
+// consistent problem.
+func TestQuickLineDeletionsFailCleanly(t *testing.T) {
+	base := Format(gen.MustBuild(gen.Table1()[0], gen.Options{Seed: 3}))
+	lines := strings.Split(strings.TrimRight(base, "\n"), "\n")
+	for i := range lines {
+		mutated := append(append([]string(nil), lines[:i]...), lines[i+1:]...)
+		p, err := Parse(strings.Join(mutated, "\n"))
+		if err != nil {
+			continue
+		}
+		if p.Circuit.NumNets() != p.Pkg.NumNets() {
+			t.Fatalf("deleting line %d (%q) produced inconsistent problem", i, lines[i])
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package exchange implements the paper's finger/pad exchange method
+// (Fig 14): after a congestion-driven assignment fixes an initial net
+// order, simulated annealing swaps adjacent fingers to improve IR-drop of
+// the core (via the compact pad-gap model) and — for stacking ICs — the
+// bonding wires (via the ω tier-interleaving metric), while the increased-
+// density term ID (Eq 2) keeps the package congestion in check.
+//
+// The cost function is the paper's Eq 3:
+//
+//	Cost = λ·Δ_IR + ρ·ID + φ·ω
+//
+// with Δ_IR the compact IR estimate and ID the worst growth of any
+// highest-line section's wire count relative to the initial assignment.
+//
+// The range constraint of Section 3.2 is enforced structurally: a swap of
+// two nets whose balls share a horizontal line would invert their via order
+// and destroy monotonic routability, so such proposals are rejected. Every
+// other adjacent swap provably preserves legality, which pins each net
+// inside exactly the slot range the paper describes (between its same-line
+// neighbors).
+package exchange
+
+import (
+	"fmt"
+	"math/rand"
+
+	"copack/internal/anneal"
+	"copack/internal/bga"
+	"copack/internal/core"
+	"copack/internal/netlist"
+	"copack/internal/power"
+	"copack/internal/route"
+	"copack/internal/stack"
+)
+
+// Options configures a Run.
+type Options struct {
+	// Lambda, Rho and Phi are the Eq 3 weights. Zero values take the
+	// defaults (1, 1, 0.4). The Δ_IR and ω terms are normalized by
+	// their initial values so the defaults behave consistently across
+	// instance sizes.
+	Lambda, Rho, Phi float64
+	// Schedule drives the annealer; the zero value uses the engine
+	// defaults with an instance-scaled move count.
+	Schedule anneal.Schedule
+	// Seed makes the run deterministic.
+	Seed int64
+	// Classes are the net classes whose pads the IR term watches;
+	// default is Power only, matching the paper's 2-D exchange.
+	Classes []netlist.NetClass
+	// DisableRangeConstraint removes the same-line rejection (an
+	// ablation: the resulting order usually loses monotonic
+	// routability, which Result.Legal reports).
+	DisableRangeConstraint bool
+	// TopLineOnly restores the paper's literal Eq 2, which watches only
+	// the highest line's sections; the default watches every line (see
+	// sectionData).
+	TopLineOnly bool
+	// Bond is the bonding-wire geometry used for reporting; zero value
+	// takes stack.DefaultBondSpec.
+	Bond stack.BondSpec
+}
+
+// Metrics captures the quality of an assignment before/after exchanging.
+type Metrics struct {
+	// Proxy is the compact Δ_IR estimate (lower = better spread pads).
+	Proxy float64
+	// ID is Eq 2's increased density versus the initial assignment (the
+	// initial assignment itself scores 0).
+	ID int
+	// Omega is the tier-interleaving metric (0 for 2-D ICs).
+	Omega int
+	// MaxDensity and Wirelength are the full routing evaluation.
+	MaxDensity int
+	Wirelength float64
+	// BondLength is the physical bonding-wire length model.
+	BondLength float64
+}
+
+// Result is the outcome of an exchange run.
+type Result struct {
+	// Assignment is the final order (a distinct copy; the initial
+	// assignment is not modified).
+	Assignment *core.Assignment
+	// Before and After are the metrics of the initial and final orders.
+	Before, After Metrics
+	// Stats reports the annealer's activity.
+	Stats anneal.Stats
+	// Legal reports whether the final order is monotonic-routable; it
+	// can only be false when DisableRangeConstraint is set.
+	Legal bool
+}
+
+// sectionData caches, for one quadrant, the Eq 2 bookkeeping. The paper
+// records the sections of the highest horizontal line only, arguing its
+// density dominates; with the heavier movement of stacking-IC exchanges the
+// congestion can migrate to lower lines unseen, so by default we track the
+// sections of every line (the TopLineOnly option restores the paper's exact
+// Eq 2 — the ablation bench shows the difference).
+type sectionData struct {
+	// rowOf maps each net to its ball line.
+	rowOf map[netlist.ID]int
+	// lines lists the line indices being watched (highest first).
+	lines []int
+	// initial[k] is the section-count vector of lines[k] at the initial
+	// assignment.
+	initial [][]int
+}
+
+func newSectionData(p *core.Problem, side bga.Side, order []netlist.ID, topOnly bool) sectionData {
+	q := p.Pkg.Quadrant(side)
+	sd := sectionData{rowOf: make(map[netlist.ID]int, q.NumNets())}
+	for y := 1; y <= q.NumRows(); y++ {
+		for _, id := range q.Row(y).Nets {
+			if id != bga.NoNet {
+				sd.rowOf[id] = y
+			}
+		}
+	}
+	// Line 1 never carries passing wires, so watching it is pointless.
+	for y := q.NumRows(); y >= 2; y-- {
+		sd.lines = append(sd.lines, y)
+		if topOnly {
+			break
+		}
+	}
+	for _, y := range sd.lines {
+		sd.initial = append(sd.initial, sd.counts(order, y))
+	}
+	return sd
+}
+
+// counts returns, for one line, the number of wires crossing each of its
+// sections: nets on the line delimit the sections, nets on lower lines are
+// counted, and nets on higher lines (which never cross) are skipped.
+func (sd *sectionData) counts(order []netlist.ID, y int) []int {
+	counts := make([]int, 1, 8)
+	for _, id := range order {
+		switch r := sd.rowOf[id]; {
+		case r == y:
+			counts = append(counts, 0)
+		case r < y:
+			counts[len(counts)-1]++
+		}
+	}
+	return counts
+}
+
+// id returns Eq 2's increased density for the quadrant's current order: the
+// worst growth of any watched section versus the initial assignment.
+func (sd *sectionData) id(order []netlist.ID) int {
+	worst := 0
+	for k, y := range sd.lines {
+		cur := sd.counts(order, y)
+		for c := range cur {
+			if d := cur[c] - sd.initial[k][c]; d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// state is the annealing target.
+type state struct {
+	p   *core.Problem
+	a   *core.Assignment
+	opt Options
+
+	sections [bga.NumSides]sectionData
+	// idCache[side] is sections[side].id(...) for the current order,
+	// refreshed by apply so cost stays O(ring) per move.
+	idCache [bga.NumSides]int
+	// sides with at least 2 slots, for move sampling.
+	sides []bga.Side
+	// supply[side][i] reports whether slot i currently holds a net of a
+	// watched class — kept in sync with swaps for ψ=1 move sampling.
+	isSupply [bga.NumSides][]bool
+
+	proxy0, omega0   float64
+	lambda, rho, phi float64
+
+	// trk maintains the proxy and ω incrementally (see incremental.go).
+	trk *tracker
+}
+
+// Note: state deliberately does NOT implement anneal.Snapshotter. The
+// initial assignment scores ID = 0 by definition, so the minimum of Eq 3
+// is usually the starting point itself; the paper's method (and ours)
+// returns the *final* annealed state, which trades a little ID for the
+// proxy and ω gains the cooling schedule locked in.
+
+func (s *state) cost() float64 {
+	idWorst := 0
+	for _, v := range s.idCache {
+		if v > idWorst {
+			idWorst = v
+		}
+	}
+	c := s.lambda*s.trk.proxy/s.proxy0 + s.rho*float64(idWorst)
+	if s.p.Tiers > 1 {
+		c += s.phi * float64(s.trk.omega) / s.omega0
+	}
+	return c
+}
+
+// Propose implements anneal.Target: pick a pad per Fig 14 (any pad for
+// stacking ICs, a supply pad for 2-D), swap it with a random neighbor, and
+// price the move.
+func (s *state) Propose(rng *rand.Rand) (float64, func(), bool) {
+	side, i, ok := s.pickSlot(rng)
+	if !ok {
+		return 0, nil, false
+	}
+	j := i + 1
+	if (rng.Intn(2) == 0 && i > 1) || j > len(s.a.Slots[side]) {
+		j = i - 1
+	}
+	slots := s.a.Slots[side]
+	na, nb := slots[i-1], slots[j-1]
+
+	if !s.opt.DisableRangeConstraint {
+		q := s.p.Pkg.Quadrant(side)
+		ba, _ := q.Ball(na)
+		bb, _ := q.Ball(nb)
+		if ba.Y == bb.Y {
+			// Same horizontal line: swapping would invert the via
+			// order (range constraint).
+			return 0, nil, false
+		}
+	}
+
+	before := s.cost()
+	s.apply(side, i, j)
+	after := s.cost()
+	return after - before, func() { s.apply(side, i, j) }, true
+}
+
+func (s *state) apply(side bga.Side, i, j int) {
+	s.a.Swap(side, i, j)
+	sup := s.isSupply[side]
+	sup[i-1], sup[j-1] = sup[j-1], sup[i-1]
+	s.idCache[side] = s.sections[side].id(s.a.Slots[side])
+	s.trk.apply(side, i, j, sup)
+}
+
+// pickSlot samples the pad to move. For 2-D ICs only supply pads move (the
+// paper's "random choose one power pad"); for stacking ICs any pad moves.
+func (s *state) pickSlot(rng *rand.Rand) (bga.Side, int, bool) {
+	if len(s.sides) == 0 {
+		return 0, 0, false
+	}
+	for try := 0; try < 16; try++ {
+		side := s.sides[rng.Intn(len(s.sides))]
+		slots := s.a.Slots[side]
+		i := 1 + rng.Intn(len(slots))
+		if s.p.Tiers == 1 && !s.isSupply[side][i-1] {
+			continue
+		}
+		return side, i, true
+	}
+	return 0, 0, false
+}
+
+// Run executes the finger/pad exchange on a copy of the initial assignment.
+func Run(p *core.Problem, initial *core.Assignment, opt Options) (*Result, error) {
+	if err := core.CheckMonotonic(p, initial); err != nil {
+		return nil, fmt.Errorf("exchange: initial assignment: %v", err)
+	}
+	if opt.Lambda == 0 {
+		opt.Lambda = 1
+	}
+	if opt.Rho == 0 {
+		// Stacking exchanges move every pad, not just supply pads, so
+		// the density needs a firmer hand to stay in the paper's
+		// +2..3 band.
+		opt.Rho = 1.0
+		if p.Tiers > 1 {
+			opt.Rho = 2.5
+		}
+	}
+	if opt.Phi == 0 {
+		opt.Phi = 0.4
+	}
+	if (opt.Bond == stack.BondSpec{}) {
+		opt.Bond = stack.DefaultBondSpec(p)
+	}
+	sched := opt.Schedule
+	if sched.MovesPerTemp == 0 {
+		// Scale the plateau length with the ring size so larger
+		// circuits search proportionally.
+		sched.MovesPerTemp = 4 * p.Circuit.NumNets()
+	}
+	if sched.StallPlateaus == 0 {
+		sched.StallPlateaus = 25
+	}
+
+	st := &state{p: p, a: initial.Clone(), opt: opt,
+		lambda: opt.Lambda, rho: opt.Rho, phi: opt.Phi}
+	for _, side := range bga.Sides() {
+		st.sections[side] = newSectionData(p, side, st.a.Slots[side], opt.TopLineOnly)
+		st.idCache[side] = 0 // initial assignment scores 0 by definition
+		slots := st.a.Slots[side]
+		if len(slots) >= 2 {
+			st.sides = append(st.sides, side)
+		}
+		match := make(map[netlist.NetClass]bool)
+		if len(opt.Classes) == 0 {
+			match[netlist.Power] = true
+		} else {
+			for _, c := range opt.Classes {
+				match[c] = true
+			}
+		}
+		sup := make([]bool, len(slots))
+		for i, id := range slots {
+			sup[i] = match[p.Circuit.Net(id).Class]
+		}
+		st.isSupply[side] = sup
+	}
+	st.trk = newTracker(p, st.a, &st.isSupply)
+	st.proxy0 = power.ProxyForAssignment(p, initial, opt.Classes...)
+	if st.proxy0 <= 0 {
+		st.proxy0 = 1
+	}
+	st.omega0 = float64(stack.OmegaAssignment(p, initial))
+	if st.omega0 <= 0 {
+		st.omega0 = 1
+	}
+
+	before, err := measure(p, initial, st, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	stats, err := anneal.Minimize(st, st.cost(), sched, rng)
+	if err != nil {
+		return nil, err
+	}
+	legal := core.CheckMonotonic(p, st.a) == nil
+	after := Metrics{
+		Proxy:      power.ProxyForAssignment(p, st.a, opt.Classes...),
+		Omega:      stack.OmegaAssignment(p, st.a),
+		BondLength: stack.TotalBondLength(p, st.a, opt.Bond),
+	}
+	for _, side := range bga.Sides() {
+		if v := st.sections[side].id(st.a.Slots[side]); v > after.ID {
+			after.ID = v
+		}
+	}
+	if legal {
+		rs, err := route.Evaluate(p, st.a)
+		if err != nil {
+			return nil, err
+		}
+		after.MaxDensity = rs.MaxDensity
+		after.Wirelength = rs.Wirelength
+	}
+	return &Result{
+		Assignment: st.a,
+		Before:     before,
+		After:      after,
+		Stats:      stats,
+		Legal:      legal,
+	}, nil
+}
+
+func measure(p *core.Problem, a *core.Assignment, st *state, opt Options) (Metrics, error) {
+	rs, err := route.Evaluate(p, a)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{
+		Proxy:      power.ProxyForAssignment(p, a, opt.Classes...),
+		Omega:      stack.OmegaAssignment(p, a),
+		MaxDensity: rs.MaxDensity,
+		Wirelength: rs.Wirelength,
+		BondLength: stack.TotalBondLength(p, a, opt.Bond),
+	}
+	for _, side := range bga.Sides() {
+		if v := st.sections[side].id(a.Slots[side]); v > m.ID {
+			m.ID = v
+		}
+	}
+	return m, nil
+}

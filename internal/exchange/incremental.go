@@ -1,0 +1,188 @@
+package exchange
+
+import (
+	"math/bits"
+
+	"copack/internal/bga"
+	"copack/internal/core"
+	"copack/internal/netlist"
+	"copack/internal/power"
+	"copack/internal/stack"
+)
+
+// The annealer prices ~10⁵ moves per run, and pricing a move twice per
+// proposal with full recomputation of the pad-gap proxy (O(s log s)) and of
+// ω (O(α)) dominates the runtime. This file maintains both incrementally:
+// an adjacent swap moves at most one supply pad by one ring slot (its rank
+// among supply pads cannot change) and touches at most two ω groups, so
+// each is an O(1) update. Floating-point drift from the proxy deltas is
+// bounded by resyncing the cache from scratch every resyncInterval applies.
+
+const resyncInterval = 4096
+
+// tracker holds the incremental caches of one annealing state.
+type tracker struct {
+	// ringT[side][slot-1] is the fixed perimeter position of a slot.
+	ringT [bga.NumSides][]float64
+	// globalOf[side][slot-1] is the slot's index in the concatenated
+	// ring (bottom, right, top, left).
+	globalOf [bga.NumSides][]int
+	// tGlobal[g] is ringT by global index.
+	tGlobal []float64
+
+	// Supply bookkeeping: sorted global indices of watched pads and the
+	// rank of each.
+	supplyIdx []int
+	rankOf    map[int]int
+	proxy     float64
+
+	// Tier bookkeeping (stacking only; psi <= 1 disables it).
+	psi    int
+	tiers  []int // by global index
+	omega  int
+	groups int
+
+	applies int
+}
+
+// newTracker builds the caches from the current assignment.
+func newTracker(p *core.Problem, a *core.Assignment, isSupply *[bga.NumSides][]bool) *tracker {
+	tr := &tracker{psi: p.Tiers, rankOf: make(map[int]int)}
+	g := 0
+	for _, side := range bga.Sides() {
+		slots := a.Slots[side]
+		n := len(slots)
+		tr.ringT[side] = make([]float64, n)
+		tr.globalOf[side] = make([]int, n)
+		for i := range slots {
+			t := float64(side) + (float64(i+1)-0.5)/float64(n)
+			tr.ringT[side][i] = t
+			tr.globalOf[side][i] = g
+			tr.tGlobal = append(tr.tGlobal, t)
+			tr.tiers = append(tr.tiers, p.Circuit.Net(slots[i]).Tier)
+			if isSupply[side][i] {
+				tr.supplyIdx = append(tr.supplyIdx, g)
+			}
+			g++
+		}
+	}
+	for r, gi := range tr.supplyIdx {
+		tr.rankOf[gi] = r
+	}
+	tr.resyncProxy()
+	if tr.psi > 1 {
+		tr.groups = (len(tr.tiers) + tr.psi - 1) / tr.psi
+		tr.omega = stack.Omega(tr.tiers, tr.psi)
+	}
+	return tr
+}
+
+// resyncProxy recomputes the cached proxy from scratch.
+func (tr *tracker) resyncProxy() {
+	ts := make([]float64, len(tr.supplyIdx))
+	for i, gi := range tr.supplyIdx {
+		ts[i] = tr.tGlobal[gi]
+	}
+	// supplyIdx is sorted by global index, and tGlobal is increasing in
+	// global index, so ts is already sorted.
+	tr.proxy = power.ProxyCost(ts)
+}
+
+// circGap returns the circular distance from a to b going forward.
+func circGap(a, b float64) float64 {
+	d := b - a
+	if d < 0 {
+		d += 4
+	}
+	return d
+}
+
+// moveSupply updates the proxy for a supply pad moving from global index
+// gi to the adjacent global index gj.
+func (tr *tracker) moveSupply(gi, gj int) {
+	r, ok := tr.rankOf[gi]
+	if !ok {
+		return
+	}
+	n := len(tr.supplyIdx)
+	if n == 1 {
+		// A single pad's cost is one full-circle gap regardless of
+		// position.
+		tr.supplyIdx[0] = gj
+		delete(tr.rankOf, gi)
+		tr.rankOf[gj] = 0
+		return
+	}
+	prev := tr.supplyIdx[(r-1+n)%n]
+	next := tr.supplyIdx[(r+1)%n]
+	tOld, tNew := tr.tGlobal[gi], tr.tGlobal[gj]
+	tPrev, tNext := tr.tGlobal[prev], tr.tGlobal[next]
+	oldCost := sq(circGap(tPrev, tOld)) + sq(circGap(tOld, tNext))
+	newCost := sq(circGap(tPrev, tNew)) + sq(circGap(tNew, tNext))
+	tr.proxy += newCost - oldCost
+	tr.supplyIdx[r] = gj
+	delete(tr.rankOf, gi)
+	tr.rankOf[gj] = r
+
+	tr.applies++
+	if tr.applies%resyncInterval == 0 {
+		tr.resyncProxy()
+	}
+}
+
+func sq(v float64) float64 { return v * v }
+
+// groupOmega computes the zero-bit count of one ω group.
+func (tr *tracker) groupOmega(group int) int {
+	full := uint64(1)<<tr.psi - 1
+	var union uint64
+	start := group * tr.psi
+	end := start + tr.psi
+	if end > len(tr.tiers) {
+		end = len(tr.tiers)
+	}
+	for _, d := range tr.tiers[start:end] {
+		union |= 1 << (d - 1)
+	}
+	return bits.OnesCount64(full &^ union)
+}
+
+// swapTiers updates ω for a swap of the adjacent global indices gi, gj.
+func (tr *tracker) swapTiers(gi, gj int) {
+	if tr.psi <= 1 {
+		return
+	}
+	ga, gb := gi/tr.psi, gj/tr.psi
+	before := tr.groupOmega(ga)
+	if gb != ga {
+		before += tr.groupOmega(gb)
+	}
+	tr.tiers[gi], tr.tiers[gj] = tr.tiers[gj], tr.tiers[gi]
+	after := tr.groupOmega(ga)
+	if gb != ga {
+		after += tr.groupOmega(gb)
+	}
+	tr.omega += after - before
+}
+
+// apply updates the caches for the swap of slots i and j (1-based) on a
+// side, given the supply flags *after* the state swap was applied.
+func (tr *tracker) apply(side bga.Side, i, j int, isSupply []bool) {
+	gi, gj := tr.globalOf[side][i-1], tr.globalOf[side][j-1]
+	// After the swap, isSupply[i-1] holds what was at j and vice versa.
+	supI, supJ := isSupply[i-1], isSupply[j-1]
+	switch {
+	case supI && !supJ:
+		// The pad that is now at i came from j.
+		tr.moveSupply(gj, gi)
+	case supJ && !supI:
+		tr.moveSupply(gi, gj)
+		// Both or neither supply: gaps unchanged.
+	}
+	tr.swapTiers(gi, gj)
+}
+
+// verify recomputes everything from scratch (test hook).
+func (tr *tracker) verify(p *core.Problem, a *core.Assignment, classes []netlist.NetClass) (proxy float64, omega int) {
+	return power.ProxyForAssignment(p, a, classes...), stack.OmegaAssignment(p, a)
+}

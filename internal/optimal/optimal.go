@@ -1,0 +1,112 @@
+// Package optimal provides an exhaustive minimum-density reference for
+// small quadrants: it enumerates every monotonic-legal finger order (the
+// interleavings of the ball lines' sequences) and reports the best
+// achievable maximum density. The paper evaluates its heuristics only
+// against a random baseline; this oracle lets the tests also measure the
+// optimality gap of IFA and DFA where enumeration is feasible (the count is
+// the multinomial coefficient of the line sizes, so it explodes quickly —
+// Enumerate guards with a budget).
+package optimal
+
+import (
+	"fmt"
+
+	"copack/internal/bga"
+	"copack/internal/core"
+	"copack/internal/netlist"
+	"copack/internal/route"
+)
+
+// Result is the oracle's answer for one quadrant.
+type Result struct {
+	// Order is a minimum-max-density legal order (ties broken by lower
+	// wirelength).
+	Order []netlist.ID
+	// MaxDensity and Wirelength are its evaluation.
+	MaxDensity int
+	Wirelength float64
+	// Explored is the number of legal orders enumerated.
+	Explored int
+}
+
+// countOrders returns the number of legal interleavings, capped at limit+1.
+func countOrders(sizes []int, limit int) int {
+	total := 1
+	placed := 0
+	for _, s := range sizes {
+		for k := 1; k <= s; k++ {
+			placed++
+			total = total * placed / k // binomial build-up, exact
+			if total > limit {
+				return limit + 1
+			}
+		}
+	}
+	return total
+}
+
+// Quadrant exhaustively searches one quadrant. maxOrders bounds the
+// enumeration (default 2_000_000); instances beyond the budget return an
+// error instead of silently truncating the search.
+func Quadrant(p *core.Problem, side bga.Side, maxOrders int) (*Result, error) {
+	if maxOrders <= 0 {
+		maxOrders = 2_000_000
+	}
+	q := p.Pkg.Quadrant(side)
+	var queues [][]netlist.ID
+	var sizes []int
+	for y := 1; y <= q.NumRows(); y++ {
+		row := q.Row(y)
+		var nets []netlist.ID
+		for _, id := range row.Nets {
+			if id != bga.NoNet {
+				nets = append(nets, id)
+			}
+		}
+		if len(nets) > 0 {
+			queues = append(queues, nets)
+			sizes = append(sizes, len(nets))
+		}
+	}
+	if n := countOrders(sizes, maxOrders); n > maxOrders {
+		return nil, fmt.Errorf("optimal: %v quadrant has more than %d legal orders", side, maxOrders)
+	}
+
+	total := q.NumNets()
+	order := make([]netlist.ID, 0, total)
+	pos := make([]int, len(queues))
+	best := &Result{MaxDensity: int(^uint(0) >> 1)}
+
+	var walk func()
+	walk = func() {
+		if len(order) == total {
+			best.Explored++
+			qs, err := route.EvaluateQuadrant(p, side, order)
+			if err != nil {
+				return // cannot happen: interleavings are legal by construction
+			}
+			if qs.MaxDensity < best.MaxDensity ||
+				(qs.MaxDensity == best.MaxDensity && qs.Wirelength < best.Wirelength) {
+				best.MaxDensity = qs.MaxDensity
+				best.Wirelength = qs.Wirelength
+				best.Order = append(best.Order[:0], order...)
+			}
+			return
+		}
+		for i := range queues {
+			if pos[i] == len(queues[i]) {
+				continue
+			}
+			order = append(order, queues[i][pos[i]])
+			pos[i]++
+			walk()
+			pos[i]--
+			order = order[:len(order)-1]
+		}
+	}
+	walk()
+	if best.Order == nil {
+		return nil, fmt.Errorf("optimal: %v quadrant has no nets", side)
+	}
+	return best, nil
+}

@@ -1,0 +1,103 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+// Failure injection: starved solvers must degrade gracefully — return a
+// solution with an honest (large) residual, never hang, never produce NaN.
+func TestStarvedSolversReportResidual(t *testing.T) {
+	g := baseSpec()
+	pads := []Pad{{I: 0, J: 0}}
+	for name, m := range map[string]Method{"cg": CG, "sor": SOR} {
+		sol, err := Solve(g, pads, SolveOptions{Method: m, MaxIter: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		full, err := Solve(g, pads, SolveOptions{Method: m})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Residual <= full.Residual {
+			t.Errorf("%s: starved residual %v not above converged %v", name, sol.Residual, full.Residual)
+		}
+		for k, v := range sol.V {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: node %d is %v", name, k, v)
+			}
+		}
+	}
+}
+
+func TestBadSolveOptionsRejected(t *testing.T) {
+	g := baseSpec()
+	pads := []Pad{{I: 0, J: 0}}
+	bad := []SolveOptions{
+		{Method: SOR, Omega: 2.5},
+		{Method: SOR, Omega: -1},
+		{Tol: -1},
+		{MaxIter: -5},
+		{Method: Method(42)},
+	}
+	for i, opt := range bad {
+		if _, err := Solve(g, pads, opt); err == nil {
+			t.Errorf("options %d accepted: %+v", i, opt)
+		}
+	}
+}
+
+// An all-pad grid (every node Dirichlet) is a degenerate but legal input.
+func TestDegenerateAllPadCG(t *testing.T) {
+	g := baseSpec()
+	g.Nx, g.Ny = 3, 3
+	var pads []Pad
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 3; i++ {
+			pads = append(pads, Pad{I: i, J: j})
+		}
+	}
+	for _, m := range []Method{CG, SOR} {
+		sol, err := Solve(g, pads, SolveOptions{Method: m})
+		if err != nil {
+			t.Fatalf("method %d: %v", m, err)
+		}
+		if sol.MaxDrop() != 0 {
+			t.Errorf("method %d: drop %v on all-pad grid", m, sol.MaxDrop())
+		}
+	}
+}
+
+// Extreme aspect-ratio grids (1-node-wide strips are disallowed; 2-wide
+// must work) exercise the neighbor bookkeeping.
+func TestExtremeAspectRatio(t *testing.T) {
+	g := baseSpec()
+	g.Nx, g.Ny = 2, 41
+	g.Width, g.Height = 2, 200
+	sol, err := Solve(g, []Pad{{I: 0, J: 0}}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MaxDrop() <= 0 {
+		t.Error("no drop on a strip grid")
+	}
+	i, j := sol.WorstNode()
+	if j != g.Ny-1 {
+		t.Errorf("worst node (%d,%d), want far end of the strip", i, j)
+	}
+}
+
+// Huge current with tiny conductance must still converge (ill-conditioned
+// but SPD).
+func TestIllConditionedStillConverges(t *testing.T) {
+	g := baseSpec()
+	g.RsX, g.RsY = 50, 0.001
+	sol, err := Solve(g, []Pad{{I: 10, J: 10}}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := g.CurrentDensity * g.Dx() * g.Dy()
+	if sol.Residual > 1e-5*sink*float64(g.Nx*g.Ny) {
+		t.Errorf("residual %v too large for anisotropic grid", sol.Residual)
+	}
+}

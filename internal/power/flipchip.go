@@ -1,0 +1,76 @@
+package power
+
+// The paper motivates its wire-bond focus by noting that "the IR-drop
+// problem of a wire-bond package is worse than a flip-chip package. The
+// main reason is that the distance from the power pad to the module in a
+// flip-chip package is shorter" — flip-chip bumps form an area array over
+// the whole die instead of a ring at its edge. This file provides the
+// flip-chip pad model so that claim is measurable (see the package tests
+// and the fpbench experiments).
+
+// FlipChipPads places n supply pads as an interior area array: pads fill a
+// √n×√n lattice spread over the grid (row-major, truncated to n). This is
+// the idealized flip-chip counterpart of a ring of the same pad count.
+func FlipChipPads(g GridSpec, n int) []Pad {
+	if n < 1 {
+		return nil
+	}
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	rows := (n + cols - 1) / cols
+	pads := make([]Pad, 0, n)
+	for k := 0; k < n; k++ {
+		c, r := k%cols, k/cols
+		pads = append(pads, Pad{
+			I: lattice(c, cols, g.Nx),
+			J: lattice(r, rows, g.Ny),
+		})
+	}
+	return pads
+}
+
+// lattice spreads index k of m evenly over 0..n-1 with half-cell margins.
+func lattice(k, m, n int) int {
+	v := int((float64(k) + 0.5) / float64(m) * float64(n-1))
+	if v < 0 {
+		v = 0
+	}
+	if v > n-1 {
+		v = n - 1
+	}
+	return v
+}
+
+// RingPads places n supply pads evenly around the grid boundary — the
+// wire-bond counterpart of FlipChipPads with the same pad count.
+func RingPads(g GridSpec, n int) []Pad {
+	perim := Perimeter(g)
+	pads := make([]Pad, 0, n)
+	for k := 0; k < n; k++ {
+		pos := int(float64(k) / float64(n) * float64(perim))
+		pads = append(pads, BoundaryNode(g, pos))
+	}
+	return pads
+}
+
+// Perimeter returns the number of distinct boundary nodes of the grid.
+func Perimeter(g GridSpec) int { return 2*(g.Nx-1) + 2*(g.Ny-1) }
+
+// BoundaryNode walks the grid boundary counterclockwise from (0,0); pos is
+// taken modulo the perimeter.
+func BoundaryNode(g GridSpec, pos int) Pad {
+	perim := Perimeter(g)
+	pos = ((pos % perim) + perim) % perim
+	switch {
+	case pos < g.Nx-1:
+		return Pad{I: pos, J: 0}
+	case pos < g.Nx-1+g.Ny-1:
+		return Pad{I: g.Nx - 1, J: pos - (g.Nx - 1)}
+	case pos < 2*(g.Nx-1)+g.Ny-1:
+		return Pad{I: g.Nx - 1 - (pos - (g.Nx - 1) - (g.Ny - 1)), J: g.Ny - 1}
+	default:
+		return Pad{I: 0, J: g.Ny - 1 - (pos - 2*(g.Nx-1) - (g.Ny - 1))}
+	}
+}

@@ -1,0 +1,88 @@
+package power
+
+import (
+	"testing"
+)
+
+func TestFlipChipPadsLayout(t *testing.T) {
+	g := baseSpec()
+	pads := FlipChipPads(g, 9)
+	if len(pads) != 9 {
+		t.Fatalf("%d pads", len(pads))
+	}
+	seen := map[Pad]bool{}
+	for _, p := range pads {
+		if p.I < 0 || p.I >= g.Nx || p.J < 0 || p.J >= g.Ny {
+			t.Errorf("pad %v outside grid", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate pad %v", p)
+		}
+		seen[p] = true
+	}
+	if FlipChipPads(g, 0) != nil {
+		t.Error("n=0 should yield nil")
+	}
+}
+
+func TestRingPadsOnBoundary(t *testing.T) {
+	g := baseSpec()
+	pads := RingPads(g, 12)
+	if len(pads) != 12 {
+		t.Fatalf("%d pads", len(pads))
+	}
+	for _, p := range pads {
+		if p.I != 0 && p.I != g.Nx-1 && p.J != 0 && p.J != g.Ny-1 {
+			t.Errorf("pad %v not on boundary", p)
+		}
+	}
+}
+
+func TestBoundaryNodeWalksWholePerimeter(t *testing.T) {
+	g := baseSpec()
+	g.Nx, g.Ny = 5, 4
+	perim := Perimeter(g) // 2*4 + 2*3 = 14
+	if perim != 14 {
+		t.Fatalf("perimeter = %d", perim)
+	}
+	seen := map[Pad]bool{}
+	for pos := 0; pos < perim; pos++ {
+		p := BoundaryNode(g, pos)
+		if seen[p] {
+			t.Fatalf("pos %d revisits %v", pos, p)
+		}
+		seen[p] = true
+	}
+	// Wraps around.
+	if BoundaryNode(g, perim) != BoundaryNode(g, 0) {
+		t.Error("no wrap-around")
+	}
+	if BoundaryNode(g, -1) != BoundaryNode(g, perim-1) {
+		t.Error("negative positions mishandled")
+	}
+}
+
+// The paper's §2.4 claim, quantified: with the same pad count and the same
+// chip, the flip-chip area array sees a much lower IR-drop than the
+// wire-bond ring, because no module is far from a pad.
+func TestFlipChipBeatsWireBond(t *testing.T) {
+	g := baseSpec()
+	for _, n := range []int{4, 9, 16} {
+		ring, err := Solve(g, RingPads(g, n), SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := Solve(g, FlipChipPads(g, n), SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc.MaxDrop() >= ring.MaxDrop() {
+			t.Errorf("n=%d: flip-chip %v not below wire-bond %v", n, fc.MaxDrop(), ring.MaxDrop())
+		}
+		// The advantage is substantial (the paper's motivation): at
+		// least 25% lower drop for these pad counts.
+		if fc.MaxDrop() > 0.75*ring.MaxDrop() {
+			t.Errorf("n=%d: flip-chip advantage too small: %v vs %v", n, fc.MaxDrop(), ring.MaxDrop())
+		}
+	}
+}

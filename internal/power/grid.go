@@ -1,0 +1,449 @@
+// Package power implements the compact IR-drop model the paper adopts from
+// Shakeri–Meindl (reference [17]): the core power distribution grid is a
+// uniform resistive mesh drawing a uniform current density J0, fed with Vdd
+// at the power pad locations on the die boundary. Equation (1) of the paper
+// is the finite-difference form of this model; Solve computes the resulting
+// node voltages with either a conjugate-gradient or an SOR solver, and the
+// Proxy* functions provide the fast pad-gap estimate the finger/pad
+// exchange uses inside simulated annealing (a full solve per move would
+// dominate the runtime, which is exactly why the paper introduces the
+// Δx/Δy shortcut).
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// GridSpec describes the discretized core power grid.
+type GridSpec struct {
+	// Nx, Ny are the node counts in x and y (at least 2 each).
+	Nx, Ny int
+	// Width, Height are the die core dimensions in µm.
+	Width, Height float64
+	// RsX, RsY are the effective sheet resistances of the power grid in
+	// the x and y directions, in Ω/sq.
+	RsX, RsY float64
+	// Vdd is the supply voltage at the pads, in volts.
+	Vdd float64
+	// CurrentDensity is the uniform current draw J0 in A/µm².
+	CurrentDensity float64
+	// CurrentMap, when non-nil, scales the current density per node
+	// (row-major, length Nx·Ny): node (i,j) draws
+	// CurrentDensity·CurrentMap[j*Nx+i]·Δx·Δy. The paper's model assumes
+	// a uniform map; hot-spot maps let the Fig 6 experiment model a chip
+	// whose power draw is not uniform.
+	CurrentMap []float64
+}
+
+// Validate checks the spec.
+func (g GridSpec) Validate() error {
+	switch {
+	case g.Nx < 2 || g.Ny < 2:
+		return fmt.Errorf("power: grid %dx%d too small", g.Nx, g.Ny)
+	case g.Width <= 0 || g.Height <= 0:
+		return fmt.Errorf("power: non-positive die size %gx%g", g.Width, g.Height)
+	case g.RsX <= 0 || g.RsY <= 0:
+		return fmt.Errorf("power: non-positive sheet resistance")
+	case g.Vdd <= 0:
+		return fmt.Errorf("power: non-positive Vdd")
+	case g.CurrentDensity < 0:
+		return fmt.Errorf("power: negative current density")
+	case g.CurrentMap != nil && len(g.CurrentMap) != g.Nx*g.Ny:
+		return fmt.Errorf("power: current map has %d entries, grid has %d nodes", len(g.CurrentMap), g.Nx*g.Ny)
+	}
+	if g.CurrentMap != nil {
+		for k, c := range g.CurrentMap {
+			if c < 0 || math.IsNaN(c) {
+				return fmt.Errorf("power: current map entry %d is %g", k, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Dx returns the node spacing in x.
+func (g GridSpec) Dx() float64 { return g.Width / float64(g.Nx-1) }
+
+// Dy returns the node spacing in y.
+func (g GridSpec) Dy() float64 { return g.Height / float64(g.Ny-1) }
+
+// Pad is a Dirichlet (Vdd) node of the grid.
+type Pad struct {
+	I, J int
+}
+
+// Method selects the linear solver.
+type Method int
+
+const (
+	// CG is preconditioned conjugate gradient (Jacobi preconditioner);
+	// the default and usually the fastest.
+	CG Method = iota
+	// SOR is successive over-relaxation, kept as an independent
+	// cross-check of CG (the package tests require the two to agree).
+	SOR
+)
+
+// SolveOptions tunes the solver.
+type SolveOptions struct {
+	Method Method
+	// Tol is the relative residual target (default 1e-9).
+	Tol float64
+	// MaxIter bounds the iteration count (default 20·(Nx+Ny) for CG,
+	// 200·(Nx+Ny) for SOR).
+	MaxIter int
+	// Omega is the SOR relaxation factor (default 1.8).
+	Omega float64
+}
+
+func (o SolveOptions) withDefaults(g GridSpec) SolveOptions {
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter == 0 {
+		switch o.Method {
+		case SOR:
+			o.MaxIter = 200 * (g.Nx + g.Ny)
+		default:
+			o.MaxIter = 20 * (g.Nx + g.Ny)
+		}
+	}
+	if o.Omega == 0 {
+		o.Omega = 1.8
+	}
+	return o
+}
+
+// Solution holds the solved node voltages.
+type Solution struct {
+	Spec       GridSpec
+	V          []float64 // row-major: V[j*Nx+i]
+	Iterations int
+	Residual   float64
+}
+
+// At returns the voltage of node (i, j).
+func (s *Solution) At(i, j int) float64 { return s.V[j*s.Spec.Nx+i] }
+
+// MaxDrop returns Vdd minus the lowest node voltage — the paper's
+// "maximum value of IR-drop".
+func (s *Solution) MaxDrop() float64 {
+	min := math.Inf(1)
+	for _, v := range s.V {
+		if v < min {
+			min = v
+		}
+	}
+	return s.Spec.Vdd - min
+}
+
+// AvgDrop returns the average IR-drop over all nodes.
+func (s *Solution) AvgDrop() float64 {
+	var sum float64
+	for _, v := range s.V {
+		sum += s.Spec.Vdd - v
+	}
+	return sum / float64(len(s.V))
+}
+
+// WorstNode returns the coordinates of the lowest-voltage node.
+func (s *Solution) WorstNode() (i, j int) {
+	min, at := math.Inf(1), 0
+	for k, v := range s.V {
+		if v < min {
+			min, at = v, k
+		}
+	}
+	return at % s.Spec.Nx, at / s.Spec.Nx
+}
+
+// Solve computes the grid voltages for the given pad set. At least one pad
+// is required (otherwise the system is singular: every node only sinks
+// current). Duplicate pads are allowed and collapse to one Dirichlet node.
+func Solve(g GridSpec, pads []Pad, opt SolveOptions) (*Solution, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pads) == 0 {
+		return nil, fmt.Errorf("power: no pads: grid has no supply")
+	}
+	isPad := make([]bool, g.Nx*g.Ny)
+	for _, p := range pads {
+		if p.I < 0 || p.I >= g.Nx || p.J < 0 || p.J >= g.Ny {
+			return nil, fmt.Errorf("power: pad (%d,%d) outside %dx%d grid", p.I, p.J, g.Nx, g.Ny)
+		}
+		isPad[p.J*g.Nx+p.I] = true
+	}
+	opt = opt.withDefaults(g)
+	if opt.Omega <= 0 || opt.Omega >= 2 {
+		return nil, fmt.Errorf("power: SOR relaxation factor %g outside (0,2)", opt.Omega)
+	}
+	if opt.Tol < 0 || opt.MaxIter < 1 {
+		return nil, fmt.Errorf("power: invalid solve options (tol %g, maxIter %d)", opt.Tol, opt.MaxIter)
+	}
+	switch opt.Method {
+	case SOR:
+		return solveSOR(g, isPad, opt)
+	case CG:
+		return solveCG(g, isPad, opt)
+	default:
+		return nil, fmt.Errorf("power: unknown method %d", opt.Method)
+	}
+}
+
+// conductances returns the branch conductances gx (between x-neighbors) and
+// gy from Eq (1)'s finite differences.
+func conductances(g GridSpec) (gx, gy float64) {
+	dx, dy := g.Dx(), g.Dy()
+	gx = dy / (g.RsX * dx)
+	gy = dx / (g.RsY * dy)
+	return
+}
+
+// sinks returns the per-node sink currents.
+func sinks(g GridSpec) []float64 {
+	base := g.CurrentDensity * g.Dx() * g.Dy()
+	out := make([]float64, g.Nx*g.Ny)
+	for k := range out {
+		out[k] = base
+		if g.CurrentMap != nil {
+			out[k] *= g.CurrentMap[k]
+		}
+	}
+	return out
+}
+
+// residualNorm returns the max KCL violation over non-pad nodes.
+func residualNorm(g GridSpec, isPad []bool, v []float64) float64 {
+	gx, gy := conductances(g)
+	sink := sinks(g)
+	worst := 0.0
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			k := j*g.Nx + i
+			if isPad[k] {
+				continue
+			}
+			var sumG, sumGV float64
+			if i > 0 {
+				sumG += gx
+				sumGV += gx * v[k-1]
+			}
+			if i < g.Nx-1 {
+				sumG += gx
+				sumGV += gx * v[k+1]
+			}
+			if j > 0 {
+				sumG += gy
+				sumGV += gy * v[k-g.Nx]
+			}
+			if j < g.Ny-1 {
+				sumG += gy
+				sumGV += gy * v[k+g.Nx]
+			}
+			r := sumGV - sumG*v[k] - sink[k]
+			if a := math.Abs(r); a > worst {
+				worst = a
+			}
+		}
+	}
+	return worst
+}
+
+func solveSOR(g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
+	gx, gy := conductances(g)
+	sink := sinks(g)
+	v := make([]float64, g.Nx*g.Ny)
+	var scale float64
+	for k := range v {
+		v[k] = g.Vdd
+		scale += math.Abs(sink[k])
+	}
+	scale /= float64(len(v)) // mean sink current sets the residual scale
+	if scale == 0 {
+		scale = 1
+	}
+	var it int
+	var res float64
+	for it = 0; it < opt.MaxIter; it++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				k := j*g.Nx + i
+				if isPad[k] {
+					continue
+				}
+				var sumG, sumGV float64
+				if i > 0 {
+					sumG += gx
+					sumGV += gx * v[k-1]
+				}
+				if i < g.Nx-1 {
+					sumG += gx
+					sumGV += gx * v[k+1]
+				}
+				if j > 0 {
+					sumG += gy
+					sumGV += gy * v[k-g.Nx]
+				}
+				if j < g.Ny-1 {
+					sumG += gy
+					sumGV += gy * v[k+g.Nx]
+				}
+				next := (sumGV - sink[k]) / sumG
+				v[k] += opt.Omega * (next - v[k])
+			}
+		}
+		if it%8 == 7 {
+			res = residualNorm(g, isPad, v)
+			if res <= opt.Tol*scale*float64(g.Nx*g.Ny) {
+				break
+			}
+		}
+	}
+	res = residualNorm(g, isPad, v)
+	return &Solution{Spec: g, V: v, Iterations: it + 1, Residual: res}, nil
+}
+
+// solveCG solves the Dirichlet-eliminated SPD system with Jacobi-
+// preconditioned conjugate gradients.
+func solveCG(g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
+	gx, gy := conductances(g)
+	sink := sinks(g)
+	n := g.Nx * g.Ny
+
+	// Unknown indexing.
+	idx := make([]int, n)
+	var unknowns []int
+	for k := 0; k < n; k++ {
+		if isPad[k] {
+			idx[k] = -1
+			continue
+		}
+		idx[k] = len(unknowns)
+		unknowns = append(unknowns, k)
+	}
+	m := len(unknowns)
+	if m == 0 {
+		v := make([]float64, n)
+		for k := range v {
+			v[k] = g.Vdd
+		}
+		return &Solution{Spec: g, V: v, Iterations: 0}, nil
+	}
+
+	diag := make([]float64, m)
+	b := make([]float64, m)
+	for u, k := range unknowns {
+		i, j := k%g.Nx, k/g.Nx
+		var sumG float64
+		add := func(nk int, cond float64) {
+			sumG += cond
+			if isPad[nk] {
+				b[u] += cond * g.Vdd
+			}
+		}
+		if i > 0 {
+			add(k-1, gx)
+		}
+		if i < g.Nx-1 {
+			add(k+1, gx)
+		}
+		if j > 0 {
+			add(k-g.Nx, gy)
+		}
+		if j < g.Ny-1 {
+			add(k+g.Nx, gy)
+		}
+		diag[u] = sumG
+		b[u] -= sink[k]
+	}
+
+	// mul computes y = A·x for the eliminated Laplacian.
+	mul := func(x, y []float64) {
+		for u, k := range unknowns {
+			i, j := k%g.Nx, k/g.Nx
+			acc := diag[u] * x[u]
+			if i > 0 && idx[k-1] >= 0 {
+				acc -= gx * x[idx[k-1]]
+			}
+			if i < g.Nx-1 && idx[k+1] >= 0 {
+				acc -= gx * x[idx[k+1]]
+			}
+			if j > 0 && idx[k-g.Nx] >= 0 {
+				acc -= gy * x[idx[k-g.Nx]]
+			}
+			if j < g.Ny-1 && idx[k+g.Nx] >= 0 {
+				acc -= gy * x[idx[k+g.Nx]]
+			}
+			y[u] = acc
+		}
+	}
+
+	x := make([]float64, m) // start from Vdd everywhere
+	for u := range x {
+		x[u] = g.Vdd
+	}
+	r := make([]float64, m)
+	ax := make([]float64, m)
+	mul(x, ax)
+	var bnorm float64
+	for u := range r {
+		r[u] = b[u] - ax[u]
+		bnorm += b[u] * b[u]
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+
+	z := make([]float64, m)
+	p := make([]float64, m)
+	ap := make([]float64, m)
+	precond := func(r, z []float64) {
+		for u := range z {
+			z[u] = r[u] / diag[u]
+		}
+	}
+	precond(r, z)
+	copy(p, z)
+	rz := dot(r, z)
+
+	var it int
+	for it = 0; it < opt.MaxIter; it++ {
+		if math.Sqrt(dot(r, r)) <= opt.Tol*bnorm {
+			break
+		}
+		mul(p, ap)
+		alpha := rz / dot(p, ap)
+		for u := range x {
+			x[u] += alpha * p[u]
+			r[u] -= alpha * ap[u]
+		}
+		precond(r, z)
+		rzNext := dot(r, z)
+		beta := rzNext / rz
+		rz = rzNext
+		for u := range p {
+			p[u] = z[u] + beta*p[u]
+		}
+	}
+
+	v := make([]float64, n)
+	for k := 0; k < n; k++ {
+		if isPad[k] {
+			v[k] = g.Vdd
+		} else {
+			v[k] = x[idx[k]]
+		}
+	}
+	return &Solution{Spec: g, V: v, Iterations: it, Residual: residualNorm(g, isPad, v)}, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

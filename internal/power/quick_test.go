@@ -1,0 +1,102 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// ringSet is a quick.Generator producing a sorted set of ring positions.
+type ringSet struct {
+	ts []float64
+}
+
+func (ringSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(25)
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = r.Float64() * 4
+	}
+	sort.Float64s(ts)
+	return reflect.ValueOf(ringSet{ts: ts})
+}
+
+// Property: ProxyCost is positive, at least the uniform lower bound 16/n,
+// and at most 16 (one full-perimeter gap).
+func TestQuickProxyBounds(t *testing.T) {
+	f := func(s ringSet) bool {
+		c := ProxyCost(s.ts)
+		n := float64(len(s.ts))
+		lower := 16/n - 1e-9
+		return c >= lower && c <= 16+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: inserting an additional pad never increases the cost — it
+// splits one circular gap g into g1+g2 and g1²+g2² < g². This is the sense
+// in which more supply pads always help the compact model.
+func TestQuickProxyInsertionImproves(t *testing.T) {
+	f := func(s ringSet, at float64) bool {
+		base := ProxyCost(s.ts)
+		pos := math.Mod(math.Abs(at), 4)
+		ts := append(append([]float64(nil), s.ts...), pos)
+		sort.Float64s(ts)
+		return ProxyCost(ts) <= base+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the uniform n-pad ring costs exactly 16/n — the proxy's global
+// minimum, which the exchange drives toward.
+func TestQuickProxyUniformOptimum(t *testing.T) {
+	f := func(n8 uint8, phase float64) bool {
+		n := 1 + int(n8)%24
+		shift := math.Mod(math.Abs(phase), 4)
+		ts := make([]float64, n)
+		for i := range ts {
+			ts[i] = math.Mod(shift+float64(i)*4/float64(n), 4)
+		}
+		sort.Float64s(ts)
+		return math.Abs(ProxyCost(ts)-16/float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any pad set, the solved voltage is bounded by Vdd from
+// above and the drop is non-negative everywhere (discrete maximum
+// principle for the supplied Laplacian).
+func TestQuickMaximumPrinciple(t *testing.T) {
+	g := GridSpec{Nx: 9, Ny: 9, Width: 10, Height: 10, RsX: 0.1, RsY: 0.1, Vdd: 1, CurrentDensity: 1e-3}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pads := make([]Pad, 0, 4)
+		for i := 0; i < len(raw) && i < 4; i++ {
+			pads = append(pads, Pad{I: int(raw[i]) % g.Nx, J: int(raw[i]/16) % g.Ny})
+		}
+		sol, err := Solve(g, pads, SolveOptions{})
+		if err != nil {
+			return false
+		}
+		for _, v := range sol.V {
+			if v > g.Vdd+1e-9 || v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

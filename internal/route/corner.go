@@ -1,0 +1,77 @@
+package route
+
+import (
+	"copack/internal/bga"
+	"copack/internal/core"
+)
+
+// The package is cut into four triangles along its diagonals, and the paper
+// notes that "two neighboring triangles contribute to the congestion along
+// the cut-line" — the reason DFA's density-interval denominator takes n ≥ 2
+// when cut-line congestion matters. This file quantifies that: the corner
+// between two adjacent quadrants is crossed by the wires running through
+// the outermost segment of each quadrant's via lines, and the corner load
+// is their sum.
+
+// CornerStat is the congestion at one package corner.
+type CornerStat struct {
+	// A and B are the adjacent quadrants meeting at the corner (A's
+	// right edge touches B's left edge in ring order).
+	A, B bga.Side
+	// LineLoads[k] is the summed outermost-segment load of the two
+	// quadrants' via lines at depth k (k=0 is the line nearest the
+	// fingers on both sides).
+	LineLoads []int
+	// Max is the worst line load at this corner.
+	Max int
+}
+
+// CornerCongestion computes the four corner stats of an assignment. Ring
+// order is bottom → right → top → left → bottom, matching the counter-
+// clockwise finger ring, so quadrant A's rightmost segments meet quadrant
+// B's leftmost segments.
+func CornerCongestion(p *core.Problem, a *core.Assignment) ([]CornerStat, error) {
+	st, err := Evaluate(p, a)
+	if err != nil {
+		return nil, err
+	}
+	sides := bga.Sides()
+	out := make([]CornerStat, 0, len(sides))
+	for i, sa := range sides {
+		sb := sides[(i+1)%len(sides)]
+		qa, qb := st.Quadrants[sa], st.Quadrants[sb]
+		depth := len(qa.Lines)
+		if len(qb.Lines) < depth {
+			depth = len(qb.Lines)
+		}
+		cs := CornerStat{A: sa, B: sb, LineLoads: make([]int, depth)}
+		for k := 0; k < depth; k++ {
+			// Lines are indexed by ball row y (1 = outermost); depth
+			// k counts from the fingers down, so y = rows - k.
+			la := qa.Lines[len(qa.Lines)-1-k]
+			lb := qb.Lines[len(qb.Lines)-1-k]
+			load := la.SegmentLoad[len(la.SegmentLoad)-1] + lb.SegmentLoad[0]
+			cs.LineLoads[k] = load
+			if load > cs.Max {
+				cs.Max = load
+			}
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// MaxCornerCongestion returns the worst corner load of an assignment.
+func MaxCornerCongestion(p *core.Problem, a *core.Assignment) (int, error) {
+	corners, err := CornerCongestion(p, a)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0
+	for _, c := range corners {
+		if c.Max > worst {
+			worst = c.Max
+		}
+	}
+	return worst, nil
+}

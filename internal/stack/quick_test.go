@@ -1,0 +1,88 @@
+package stack
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// tierSeq is a quick.Generator producing a valid (tiers, ψ) pair.
+type tierSeq struct {
+	tiers []int
+	psi   int
+}
+
+func (tierSeq) Generate(r *rand.Rand, size int) reflect.Value {
+	psi := 1 + r.Intn(6)
+	n := r.Intn(40)
+	tiers := make([]int, n)
+	for i := range tiers {
+		tiers[i] = 1 + r.Intn(psi)
+	}
+	return reflect.ValueOf(tierSeq{tiers: tiers, psi: psi})
+}
+
+// Property: 0 <= ω <= (ψ-1)·#groups, and ω = 0 when ψ = 1.
+func TestQuickOmegaBounds(t *testing.T) {
+	f := func(s tierSeq) bool {
+		omega := Omega(s.tiers, s.psi)
+		if omega < 0 {
+			return false
+		}
+		groups := (len(s.tiers) + s.psi - 1) / s.psi
+		if omega > (s.psi-1)*groups {
+			return false
+		}
+		if s.psi == 1 && omega != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a perfectly interleaved sequence scores ω contributions only
+// from the (possibly partial) last group.
+func TestQuickOmegaPerfectInterleaving(t *testing.T) {
+	f := func(psi8 uint8, reps8 uint8) bool {
+		psi := 1 + int(psi8)%6
+		reps := 1 + int(reps8)%8
+		var tiers []int
+		for g := 0; g < reps; g++ {
+			for d := 1; d <= psi; d++ {
+				tiers = append(tiers, d)
+			}
+		}
+		return Omega(tiers, psi) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ω is invariant under permutations *within* a group, and never
+// increases when a group's duplicate member is replaced by a missing tier.
+func TestQuickOmegaWithinGroupPermutation(t *testing.T) {
+	f := func(s tierSeq, swapAt uint8) bool {
+		if s.psi < 2 || len(s.tiers) < s.psi {
+			return true
+		}
+		base := Omega(s.tiers, s.psi)
+		// Swap two members of the same group.
+		g := int(swapAt) % (len(s.tiers) / s.psi * s.psi)
+		i := g - g%s.psi
+		j := i + 1
+		if j >= len(s.tiers) {
+			return true
+		}
+		perm := append([]int(nil), s.tiers...)
+		perm[i], perm[j] = perm[j], perm[i]
+		return Omega(perm, s.psi) == base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

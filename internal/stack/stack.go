@@ -1,0 +1,149 @@
+// Package stack models the stacking-IC (SiP / 3-D) aspects of the paper:
+// each net's pad lives on one of ψ stacked dies (tiers), every tier carries
+// a unique one-hot parameter UP_d, and the quality of a finger order for
+// bonding wires is measured by ω — the total count of zero bits left after
+// OR-ing the UP parameters of each consecutive finger group of size ψ.
+// ω = 0 means every group of ψ consecutive fingers touches every tier once:
+// the tiers are perfectly interleaved and no die edge gets a crowded run of
+// bonding wires.
+//
+// The package also provides a physical bonding-wire length model used for
+// reporting: pads of tier d sit on a die inset and elevated proportionally
+// to d, spread evenly along their tier's edge in finger order, so clustered
+// same-tier fingers must fan out laterally and pay extra length.
+package stack
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"copack/internal/bga"
+	"copack/internal/core"
+)
+
+// TierMask returns the unique parameter UP_d of tier d (1-based): a one-hot
+// mask, "001", "010", "100", … in the paper's notation.
+func TierMask(d int) uint64 {
+	if d < 1 || d > 64 {
+		panic(fmt.Sprintf("stack: tier %d outside 1..64", d))
+	}
+	return 1 << (d - 1)
+}
+
+// Omega computes the paper's zero-bit metric for one finger row: tiers[i]
+// is the tier (1-based) of the net on finger i+1, psi is the tier count ψ.
+// Fingers are grouped consecutively into ⌈len/ψ⌉ groups; each group ORs its
+// members' UP masks and contributes the number of zero bits among the ψ low
+// bits. Lower is better; 0 is perfect interleaving.
+func Omega(tiers []int, psi int) int {
+	if psi < 1 {
+		panic("stack: ψ must be >= 1")
+	}
+	if psi == 1 {
+		return 0 // a single tier is always "perfectly interleaved"
+	}
+	full := uint64(1)<<psi - 1
+	omega := 0
+	for start := 0; start < len(tiers); start += psi {
+		end := start + psi
+		if end > len(tiers) {
+			end = len(tiers)
+		}
+		var union uint64
+		for _, d := range tiers[start:end] {
+			if d < 1 || d > psi {
+				panic(fmt.Sprintf("stack: tier %d outside 1..ψ=%d", d, psi))
+			}
+			union |= TierMask(d)
+		}
+		omega += bits.OnesCount64(full &^ union)
+	}
+	return omega
+}
+
+// SlotTiers extracts the per-finger tier sequence of one quadrant of an
+// assignment.
+func SlotTiers(p *core.Problem, a *core.Assignment, side bga.Side) []int {
+	slots := a.Slots[side]
+	tiers := make([]int, len(slots))
+	for i, id := range slots {
+		tiers[i] = p.Circuit.Net(id).Tier
+	}
+	return tiers
+}
+
+// OmegaAssignment computes ω over the whole finger ring: the quadrants'
+// finger rows are concatenated in ring order (bottom, right, top, left),
+// matching the paper's single F_1..F_α sequence.
+func OmegaAssignment(p *core.Problem, a *core.Assignment) int {
+	var tiers []int
+	for _, side := range bga.Sides() {
+		tiers = append(tiers, SlotTiers(p, a, side)...)
+	}
+	return Omega(tiers, p.Tiers)
+}
+
+// BondSpec is the physical bonding-wire geometry of a stacked die pyramid.
+type BondSpec struct {
+	// TierHeight is the vertical step between consecutive tiers, in µm.
+	TierHeight float64
+	// TierInset is how much each tier's die edge recedes from the finger
+	// ring, in µm (tier d sits d·TierInset away horizontally).
+	TierInset float64
+}
+
+// DefaultBondSpec sizes the pyramid relative to the package: each tier
+// steps up by two ball pitches and in by three.
+func DefaultBondSpec(p *core.Problem) BondSpec {
+	bp := p.Pkg.Spec.BallPitch()
+	return BondSpec{TierHeight: 2 * bp, TierInset: 3 * bp}
+}
+
+// WireLengths returns the per-net bonding-wire lengths of one quadrant,
+// indexed by finger slot. Pads of tier d are spread evenly along their
+// tier's edge span in finger order; each wire runs from its finger to its
+// pad through the tier's inset and elevation. Clustered same-tier fingers
+// therefore pay a lateral fan-out penalty, which is what the exchange
+// method's ω term suppresses.
+func WireLengths(p *core.Problem, a *core.Assignment, side bga.Side, spec BondSpec) []float64 {
+	q := p.Pkg.Quadrant(side)
+	slots := a.Slots[side]
+	out := make([]float64, len(slots))
+
+	// Collect the slots used by each tier, in finger order.
+	byTier := make(map[int][]int)
+	for i, id := range slots {
+		d := p.Circuit.Net(id).Tier
+		byTier[d] = append(byTier[d], i)
+	}
+	// Edge span of the finger row.
+	span := float64(len(slots)) * p.Pkg.Spec.FingerPitch()
+	for d, slotIdx := range byTier {
+		edge := span - 2*float64(d)*spec.TierInset
+		if edge < span/4 {
+			edge = span / 4 // a deep pyramid still keeps a usable edge
+		}
+		k := len(slotIdx)
+		for j, i := range slotIdx {
+			padX := (float64(j+1) - float64(k+1)/2) / float64(k) * edge
+			fingerX := p.Pkg.FingerCenter(q, i+1).X
+			dx := fingerX - padX
+			dz := float64(d) * spec.TierHeight
+			dy := float64(d) * spec.TierInset
+			out[i] = math.Sqrt(dx*dx + dy*dy + dz*dz)
+		}
+	}
+	return out
+}
+
+// TotalBondLength sums the bonding-wire lengths over the whole package.
+func TotalBondLength(p *core.Problem, a *core.Assignment, spec BondSpec) float64 {
+	var total float64
+	for _, side := range bga.Sides() {
+		for _, l := range WireLengths(p, a, side, spec) {
+			total += l
+		}
+	}
+	return total
+}

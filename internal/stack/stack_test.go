@@ -1,0 +1,199 @@
+package stack
+
+import (
+	"math"
+	"testing"
+
+	"copack/internal/assign"
+	"copack/internal/bga"
+	"copack/internal/core"
+	"copack/internal/gen"
+	"copack/internal/netlist"
+)
+
+func TestTierMask(t *testing.T) {
+	if TierMask(1) != 0b001 || TierMask(2) != 0b010 || TierMask(3) != 0b100 {
+		t.Error("masks are not one-hot in tier order")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TierMask(0) did not panic")
+		}
+	}()
+	TierMask(0)
+}
+
+func TestOmegaPaperExample(t *testing.T) {
+	// The paper's Fig 4 example: ψ=2, 12 fingers. In (A) the tiers come
+	// in same-tier pairs (2,2),(2,2),(2,2),(1,1),(1,1),(1,1): every
+	// group misses one tier, ω = 6. In (B) the tiers alternate, ω = 0.
+	figA := []int{2, 2, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1}
+	if got := Omega(figA, 2); got != 6 {
+		t.Errorf("Fig 4(A) ω = %d, want 6", got)
+	}
+	figB := []int{1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2}
+	if got := Omega(figB, 2); got != 0 {
+		t.Errorf("Fig 4(B) ω = %d, want 0", got)
+	}
+}
+
+func TestOmegaSingleTierIsZero(t *testing.T) {
+	if Omega([]int{1, 1, 1}, 1) != 0 {
+		t.Error("ψ=1 must always be 0")
+	}
+}
+
+func TestOmegaPartialLastGroup(t *testing.T) {
+	// 5 fingers, ψ=2: groups (a,b),(c,d),(e). The last group has one
+	// member and necessarily misses one tier.
+	if got := Omega([]int{1, 2, 1, 2, 1}, 2); got != 1 {
+		t.Errorf("ω = %d, want 1", got)
+	}
+}
+
+func TestOmegaBounds(t *testing.T) {
+	// ω is at most (ψ-1)·#groups and at least max(0, groups missing).
+	tiers := []int{3, 3, 3, 3, 3, 3, 3, 3, 3} // 9 fingers, all tier 3, ψ=3
+	got := Omega(tiers, 3)
+	if got != 3*2 {
+		t.Errorf("all-same-tier ω = %d, want 6", got)
+	}
+}
+
+func TestOmegaPanicsOnBadTier(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tier above ψ did not panic")
+		}
+	}()
+	Omega([]int{1, 4}, 2)
+}
+
+func stackedProblem(t *testing.T, tiers int) (*core.Problem, *core.Assignment) {
+	t.Helper()
+	p := gen.MustBuild(gen.Table1()[0], gen.Options{Seed: 8, Tiers: tiers})
+	a, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, a
+}
+
+func TestSlotTiersAndOmegaAssignment(t *testing.T) {
+	p, a := stackedProblem(t, 4)
+	total := 0
+	for _, side := range bga.Sides() {
+		tiers := SlotTiers(p, a, side)
+		if len(tiers) != len(a.Slots[side]) {
+			t.Fatalf("%v: %d tiers for %d slots", side, len(tiers), len(a.Slots[side]))
+		}
+		total += len(tiers)
+	}
+	if total != p.Circuit.NumNets() {
+		t.Errorf("tier entries %d != nets %d", total, p.Circuit.NumNets())
+	}
+	omega := OmegaAssignment(p, a)
+	if omega < 0 {
+		t.Errorf("ω = %d", omega)
+	}
+	// A random ball-driven order is essentially never perfectly
+	// interleaved on 96 nets.
+	if omega == 0 {
+		t.Error("ω = 0 for a DFA order is wildly unlikely; check grouping")
+	}
+}
+
+func TestOmegaAssignmentSingleTier(t *testing.T) {
+	p, a := stackedProblem(t, 1)
+	if OmegaAssignment(p, a) != 0 {
+		t.Error("2-D IC must have ω = 0")
+	}
+}
+
+func TestWireLengthsPositiveAndComplete(t *testing.T) {
+	p, a := stackedProblem(t, 4)
+	spec := DefaultBondSpec(p)
+	for _, side := range bga.Sides() {
+		ls := WireLengths(p, a, side, spec)
+		if len(ls) != len(a.Slots[side]) {
+			t.Fatalf("%v: %d lengths for %d slots", side, len(ls), len(a.Slots[side]))
+		}
+		for i, l := range ls {
+			if l <= 0 || math.IsNaN(l) {
+				t.Errorf("%v slot %d: length %v", side, i+1, l)
+			}
+		}
+	}
+}
+
+func TestHigherTiersCostMoreOnAverage(t *testing.T) {
+	p, a := stackedProblem(t, 4)
+	spec := DefaultBondSpec(p)
+	sums := make(map[int]float64)
+	counts := make(map[int]int)
+	for _, side := range bga.Sides() {
+		ls := WireLengths(p, a, side, spec)
+		for i, id := range a.Slots[side] {
+			d := p.Circuit.Net(id).Tier
+			sums[d] += ls[i]
+			counts[d]++
+		}
+	}
+	avg1 := sums[1] / float64(counts[1])
+	avg4 := sums[4] / float64(counts[4])
+	if avg4 <= avg1 {
+		t.Errorf("tier 4 avg %v not longer than tier 1 avg %v", avg4, avg1)
+	}
+}
+
+func TestInterleavingShortensBondWires(t *testing.T) {
+	// Construct a 2-tier problem and compare a clustered order (tiers
+	// 1,1,...,2,2,...) against an interleaved one on a single quadrant.
+	p := gen.MustBuild(gen.Table1()[0], gen.Options{Seed: 2, Tiers: 2})
+	spec := DefaultBondSpec(p)
+
+	base, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved: alternate tier-1 and tier-2 nets; clustered: all
+	// tier-1 nets first. Both reorderings ignore legality — they only
+	// exercise the wire-length model.
+	interleaved := base.Clone()
+	clustered := base.Clone()
+	for _, side := range bga.Sides() {
+		var t1, t2 []int
+		for _, id := range base.Slots[side] {
+			if p.Circuit.Net(id).Tier == 1 {
+				t1 = append(t1, int(id))
+			} else {
+				t2 = append(t2, int(id))
+			}
+		}
+		ci := clustered.Slots[side][:0]
+		for _, v := range append(append([]int{}, t1...), t2...) {
+			ci = append(ci, netID(v))
+		}
+		ii := interleaved.Slots[side][:0]
+		for k := 0; k < len(t1) || k < len(t2); k++ {
+			if k < len(t1) {
+				ii = append(ii, netID(t1[k]))
+			}
+			if k < len(t2) {
+				ii = append(ii, netID(t2[k]))
+			}
+		}
+	}
+	li := TotalBondLength(p, interleaved, spec)
+	lc := TotalBondLength(p, clustered, spec)
+	oi := OmegaAssignment(p, interleaved)
+	oc := OmegaAssignment(p, clustered)
+	if oi >= oc {
+		t.Errorf("interleaved ω %d not below clustered ω %d", oi, oc)
+	}
+	if li >= lc {
+		t.Errorf("interleaved length %v not below clustered %v", li, lc)
+	}
+}
+
+func netID(v int) netlist.ID { return netlist.ID(v) }

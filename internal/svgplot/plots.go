@@ -1,0 +1,105 @@
+package svgplot
+
+import (
+	"copack/internal/bga"
+	"copack/internal/core"
+	"copack/internal/geom"
+	"copack/internal/netlist"
+	"copack/internal/power"
+	"copack/internal/route"
+)
+
+// classColor returns the wire color per net class: supply nets stand out,
+// as in the paper's figures.
+func classColor(c netlist.NetClass) string {
+	switch c {
+	case netlist.Power:
+		return "#d62728" // red
+	case netlist.Ground:
+		return "#1f77b4" // blue
+	default:
+		return "#555555"
+	}
+}
+
+// Routing renders a realized package routing (the Fig 15 artifact): Layer-1
+// wires per net class, Layer-2 stubs in light gray, vias as black dots,
+// bump balls as circles and fingers as small squares.
+func Routing(p *core.Problem, r *route.Routing, title string) []byte {
+	view := p.Pkg.Bounds().Expand(p.Pkg.Spec.BallPitch())
+	c := NewCanvas(900, 900, view)
+
+	// Bump balls and via sites first (background).
+	for _, side := range bga.Sides() {
+		q := p.Pkg.Quadrant(side)
+		for y := 1; y <= q.NumRows(); y++ {
+			for x := 1; x <= q.Row(y).Sites(); x++ {
+				ball := p.Pkg.ToGlobal(side, p.Pkg.BallCenter(q, x, y))
+				fill := "#dddddd"
+				if q.NetAt(x, y) != bga.NoNet {
+					fill = "#bbbbbb"
+				}
+				c.Circle(ball, p.Pkg.Spec.BallDiameter/2, fill)
+			}
+		}
+	}
+	// Wires.
+	for _, path := range r.Paths {
+		c.Polyline(geom.Polyline{path.Layer2.A, path.Layer2.B}, "#cccccc", 0.8)
+	}
+	for _, path := range r.Paths {
+		col := classColor(p.Circuit.Net(path.Net).Class)
+		c.Polyline(path.Layer1, col, 1.0)
+	}
+	// Vias on top.
+	for _, path := range r.Paths {
+		sx, sy := c.xy(path.Via)
+		c.CirclePx(sx, sy, 1.6, "black")
+	}
+	// Fingers.
+	for _, side := range bga.Sides() {
+		q := p.Pkg.Quadrant(side)
+		for slot := 1; slot <= q.NumSlots(); slot++ {
+			f := p.Pkg.ToGlobal(side, p.Pkg.FingerCenter(q, slot))
+			sx, sy := c.xy(f)
+			c.CirclePx(sx, sy, 1.2, "#2ca02c")
+		}
+	}
+	if title != "" {
+		c.Text(geom.P(view.Min.X+view.W()*0.02, view.Max.Y-view.H()*0.04), 16, "black", title)
+	}
+	return c.Bytes()
+}
+
+// IRMap renders a solved power grid as a heat map (the Fig 6 artifact):
+// each cell is colored by its IR-drop relative to the map's worst drop, and
+// pads are drawn as white dots on the boundary.
+func IRMap(sol *power.Solution, pads []power.Pad, title string) []byte {
+	g := sol.Spec
+	view := geom.R(0, 0, g.Width, g.Height)
+	c := NewCanvas(720, 720, view)
+
+	worst := sol.MaxDrop()
+	if worst <= 0 {
+		worst = 1e-12
+	}
+	dx, dy := g.Dx(), g.Dy()
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			drop := g.Vdd - sol.At(i, j)
+			cell := geom.R(
+				float64(i)*dx-dx/2, float64(j)*dy-dy/2,
+				float64(i)*dx+dx/2, float64(j)*dy+dy/2,
+			)
+			c.CellRect(cell, HeatColor(drop/worst))
+		}
+	}
+	for _, pad := range pads {
+		sx, sy := c.xy(geom.P(float64(pad.I)*dx, float64(pad.J)*dy))
+		c.CirclePx(sx, sy, 4, "white")
+	}
+	if title != "" {
+		c.Text(geom.P(g.Width*0.02, g.Height*0.97), 14, "white", title)
+	}
+	return c.Bytes()
+}
