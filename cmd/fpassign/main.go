@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"copack"
 )
@@ -32,6 +34,7 @@ func main() {
 		runDRC       = flag.Bool("drc", false, "run the design-rule check on the final plan")
 		svgPath      = flag.String("svg", "", "write the routing plot to this SVG file")
 		irPath       = flag.String("irmap", "", "write the IR-drop heat map to this SVG file")
+		timeout      = flag.Duration("timeout", 0, "planning time budget (e.g. 30s); on expiry the best-so-far plan is reported (0 = none)")
 	)
 	flag.Parse()
 
@@ -39,6 +42,7 @@ func main() {
 		circuit: *circuit, in: *in, out: *out, fingers: *fingers, ballSpace: *ballSpace,
 		alg: *alg, tiers: *tiers, seed: *seed, skipExchange: *skipExchange,
 		improveVias: *improveVias, runDRC: *runDRC, svgPath: *svgPath, irPath: *irPath,
+		timeout: *timeout,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fpassign:", err)
@@ -58,6 +62,7 @@ type config struct {
 	improveVias     bool
 	runDRC          bool
 	svgPath, irPath string
+	timeout         time.Duration
 }
 
 func run(cfg config) error {
@@ -97,10 +102,11 @@ func run(cfg config) error {
 			return err
 		}
 	}
-	res, err := copack.Plan(p, copack.Options{
+	res, err := copack.PlanContext(context.Background(), p, copack.Options{
 		Algorithm:    algorithm,
 		SkipExchange: skipExchange,
 		Seed:         seed,
+		Budget:       cfg.timeout,
 	})
 	if err != nil {
 		return err
@@ -108,6 +114,9 @@ func run(cfg config) error {
 
 	fmt.Printf("instance      : %s (%d fingers, ψ=%d, seed %d)\n", tc.Name, tc.Fingers, tiers, seed)
 	fmt.Printf("algorithm     : %v\n", algorithm)
+	if res.Partial {
+		fmt.Printf("status        : PARTIAL — %s\n", res.Stopped)
+	}
 	fmt.Printf("max density   : %d", res.InitialStats.MaxDensity)
 	if !skipExchange {
 		fmt.Printf(" -> %d after exchange", res.FinalStats.MaxDensity)

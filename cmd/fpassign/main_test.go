@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunGeneratedInstance(t *testing.T) {
@@ -48,5 +49,18 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(config{circuit: 0, fingers: 3, alg: "dfa", tiers: 1}); err == nil {
 		t.Error("impossible custom instance accepted")
+	}
+}
+
+func TestRunTimeoutStillSucceeds(t *testing.T) {
+	// A tiny -timeout must not turn into an error: the run reports the
+	// best-so-far plan as PARTIAL and exits zero.
+	cfg := config{circuit: 5, alg: "dfa", tiers: 1, seed: 1, timeout: 50 * time.Millisecond}
+	start := time.Now()
+	if err := run(cfg); err != nil {
+		t.Fatalf("timed-out run became an error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("run ignored the 50ms budget (%v)", elapsed)
 	}
 }

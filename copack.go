@@ -21,9 +21,12 @@
 package copack
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime/debug"
+	"time"
 
 	"copack/internal/anneal"
 	"copack/internal/assign"
@@ -32,6 +35,7 @@ import (
 	"copack/internal/design"
 	"copack/internal/drc"
 	"copack/internal/exchange"
+	"copack/internal/faultinject"
 	"copack/internal/floorplan"
 	"copack/internal/gen"
 	"copack/internal/netlist"
@@ -107,6 +111,15 @@ const (
 	Left   = bga.Left
 )
 
+// SolveMethod selects the IR-drop linear solver (see Options.Solve).
+type SolveMethod = power.Method
+
+// IR-drop solver methods.
+const (
+	SolveCG  = power.CG
+	SolveSOR = power.SOR
+)
+
 // Algorithm selects the congestion-driven assignment method.
 type Algorithm int
 
@@ -164,7 +177,21 @@ type Options struct {
 	// Grid is the IR-drop model used for reporting; the zero value uses
 	// a default sized to the package.
 	Grid GridSpec
+	// Solve tunes the IR-drop solver used for reporting; the zero value
+	// uses the power package defaults. A deliberately starved solver
+	// (tight MaxIter) does not fail the plan: the run completes with
+	// Result.Partial set and the solver's best iterate reported.
+	Solve SolveOptions
+	// Budget bounds the planning wall-clock. When it elapses the pipeline
+	// stops at the next stage checkpoint and returns the best-so-far
+	// state as a Partial result. Zero means no budget; combine freely
+	// with a caller deadline on PlanContext's ctx — whichever is sooner
+	// wins.
+	Budget time.Duration
 }
+
+// SolveOptions re-exports the IR-drop solver's tuning knobs.
+type SolveOptions = power.SolveOptions
 
 // ExchangeOptions re-exports the exchange step's tuning knobs.
 type ExchangeOptions = exchange.Options
@@ -186,16 +213,98 @@ type Result struct {
 	// OmegaBefore and OmegaAfter are the bonding-wire interleaving
 	// metrics (0 for 2-D ICs).
 	OmegaBefore, OmegaAfter int
+	// Partial reports that the run was cut short — deadline, caller
+	// cancellation or a starved IR solver — and every field above holds
+	// the best-so-far state: the Assignment is always monotonic-legal
+	// and never worse (by the exchange cost) than the initial one, and
+	// the IR-drop numbers are the solver's best available estimate (its
+	// current iterate, or the previous stage's solve when the cut came
+	// before the first iteration).
+	Partial bool
+	// Stopped says where and why a Partial run stopped (for example
+	// "exchange: context deadline exceeded"); empty for a complete run.
+	Stopped string
+}
+
+// PanicError is what the public entry points (PlanContext, ParseCircuit,
+// ReadDesign, …) return when an internal invariant breaks: the panic is
+// caught at the API boundary and wrapped so no input — however malformed —
+// can crash the process. Stage names the entry point, Value the recovered
+// panic and Stack the goroutine stack at recovery time.
+type PanicError struct {
+	Stage string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("copack: internal panic in %s: %v", e.Stage, e.Value)
+}
+
+// recoverStage converts a panic escaping a public entry point into a
+// *PanicError. Use as: defer recoverStage("plan", &err).
+func recoverStage(stage string, err *error) {
+	if r := recover(); r != nil {
+		*err = &PanicError{Stage: stage, Value: r, Stack: debug.Stack()}
+	}
 }
 
 // Plan runs the paper's two-step flow on a problem: congestion-driven
 // assignment, then the IR-drop- and bonding-aware finger/pad exchange.
+// It is PlanContext with a background context: it never times out, but it
+// still cannot panic, and it still reports a starved IR solver as Partial.
 func Plan(p *Problem, opt Options) (*Result, error) {
+	return PlanContext(context.Background(), p, opt)
+}
+
+// PlanContext runs the planning pipeline under a context: cancel ctx (or
+// set Options.Budget, or both) and the pipeline stops at the next stage
+// checkpoint — mid-anneal, mid-solver-iteration or between stages — and
+// returns the best state reached so far as a Partial result instead of an
+// error. The returned Assignment is always monotonic-legal: the
+// congestion-driven step runs to completion (it is the fast part), and
+// every anneal move preserves legality, so interruption can only cost
+// optimization quality, never correctness. Cancellation before the initial
+// assignment exists is the one case that returns ctx's error, because
+// there is no state worth returning.
+//
+// An uncancelled PlanContext run is byte-for-byte identical to Plan for
+// the same Options: the cancellation checkpoints never touch the random
+// stream.
+func PlanContext(ctx context.Context, p *Problem, opt Options) (res *Result, err error) {
+	defer recoverStage("plan", &err)
 	if p == nil {
 		return nil, fmt.Errorf("copack: nil problem")
 	}
+	if opt.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Budget)
+		defer cancel()
+	}
+	// stop records the first reason the run degraded to a partial result;
+	// later stages still run (fast, on best-so-far state) so the report
+	// stays complete.
+	stop := func(res *Result, reason string) {
+		if !res.Partial {
+			res.Partial = true
+			res.Stopped = reason
+		}
+	}
+	checkpoint := func(stage string) error {
+		if err := faultinject.Fire(faultinject.PlanStage); err != nil {
+			return fmt.Errorf("copack: %s: %v", stage, err)
+		}
+		return nil
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err // nothing computed yet: no partial state to return
+	}
+	if err := checkpoint("assign"); err != nil {
+		return nil, err
+	}
 	var initial *Assignment
-	var err error
 	switch opt.Algorithm {
 	case DFA:
 		initial, err = assign.DFA(p, assign.DFAOptions{Cut: opt.DFACut})
@@ -209,7 +318,7 @@ func Plan(p *Problem, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Initial: initial, Assignment: initial}
+	res = &Result{Initial: initial, Assignment: initial}
 	if res.InitialStats, err = route.Evaluate(p, initial); err != nil {
 		return nil, err
 	}
@@ -219,14 +328,28 @@ func Plan(p *Problem, opt Options) (*Result, error) {
 	if grid.Nx == 0 || grid.Ny == 0 {
 		grid = power.DefaultChipGrid(p)
 	}
-	solveDrop := func(a *Assignment) (float64, error) {
-		sol, err := power.SolveAssignment(p, a, grid, power.SolveOptions{})
+	solveDrop := func(a *Assignment, stage string, prev float64) (float64, error) {
+		sol, err := power.SolveAssignmentContext(ctx, p, a, grid, opt.Solve)
 		if err != nil {
 			return 0, err
 		}
+		if !sol.Converged {
+			stop(res, fmt.Sprintf("%s: IR solver stopped after %d iterations (%s; residual %.3g)",
+				stage, sol.Iterations, sol.Stopped, sol.Residual))
+			if sol.Iterations == 0 {
+				// The solve was cut before its first iteration: the
+				// iterate is the flat initial guess (zero drop), which
+				// would misreport as a perfect grid. Keep the previous
+				// estimate instead.
+				return prev, nil
+			}
+		}
 		return sol.MaxDrop(), nil
 	}
-	if res.IRDropBefore, err = solveDrop(initial); err != nil {
+	if err := checkpoint("ir-before"); err != nil {
+		return nil, err
+	}
+	if res.IRDropBefore, err = solveDrop(initial, "ir-before", 0); err != nil {
 		return nil, err
 	}
 	res.IRDropAfter = res.IRDropBefore
@@ -236,21 +359,36 @@ func Plan(p *Problem, opt Options) (*Result, error) {
 	if opt.SkipExchange {
 		return res, nil
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		// The deadline already passed: the initial assignment is the
+		// best-so-far answer.
+		stop(res, fmt.Sprintf("exchange skipped: %v", cerr))
+		return res, nil
+	}
+	if err := checkpoint("exchange"); err != nil {
+		return nil, err
+	}
 
 	exOpt := opt.Exchange
 	if exOpt.Seed == 0 {
 		exOpt.Seed = opt.Seed
 	}
-	ex, err := exchange.Run(p, initial, exOpt)
+	ex, err := exchange.RunContext(ctx, p, initial, exOpt)
 	if err != nil {
 		return nil, err
+	}
+	if ex.Interrupted {
+		stop(res, fmt.Sprintf("exchange: %s", ex.Stats.Stopped))
 	}
 	res.Exchange = ex
 	res.Assignment = ex.Assignment
 	if res.FinalStats, err = route.Evaluate(p, ex.Assignment); err != nil {
 		return nil, err
 	}
-	if res.IRDropAfter, err = solveDrop(ex.Assignment); err != nil {
+	if err := checkpoint("ir-after"); err != nil {
+		return nil, err
+	}
+	if res.IRDropAfter, err = solveDrop(ex.Assignment, "ir-after", res.IRDropBefore); err != nil {
 		return nil, err
 	}
 	res.OmegaAfter = ex.After.Omega
@@ -264,7 +402,8 @@ func Table1Circuits() []TestCircuit { return gen.Table1() }
 
 // BuildCircuit constructs a problem instance from a Table 1-style
 // description.
-func BuildCircuit(tc TestCircuit, opt BuildOptions) (*Problem, error) {
+func BuildCircuit(tc TestCircuit, opt BuildOptions) (p *Problem, err error) {
+	defer recoverStage("build-circuit", &err)
 	return gen.Build(tc, opt)
 }
 
@@ -274,7 +413,10 @@ func NewProblem(c *Circuit, pkg *Package, tiers int) (*Problem, error) {
 }
 
 // ParseCircuit reads a circuit from the text format of the netlist package.
-func ParseCircuit(text string) (*Circuit, error) { return netlist.Parse(text) }
+func ParseCircuit(text string) (c *Circuit, err error) {
+	defer recoverStage("parse-circuit", &err)
+	return netlist.Parse(text)
+}
 
 // CheckMonotonic verifies the via-order rule that guarantees a legal
 // monotonic package routing.
@@ -324,10 +466,16 @@ func CheckDesignRules(p *Problem, a *Assignment, rules DRCRules) (*DRCReport, er
 
 // ReadDesign parses a complete problem (circuit + package + ball map) from
 // the design file format documented in internal/design.
-func ReadDesign(r io.Reader) (*Problem, error) { return design.Read(r) }
+func ReadDesign(r io.Reader) (p *Problem, err error) {
+	defer recoverStage("read-design", &err)
+	return design.Read(r)
+}
 
 // ParseDesign parses a design file from a string.
-func ParseDesign(text string) (*Problem, error) { return design.Parse(text) }
+func ParseDesign(text string) (p *Problem, err error) {
+	defer recoverStage("parse-design", &err)
+	return design.Parse(text)
+}
 
 // WriteDesign serializes a problem in the design file format.
 func WriteDesign(w io.Writer, p *Problem) error { return design.Write(w, p) }
@@ -343,11 +491,23 @@ func WriteSolution(w io.Writer, p *Problem, a *Assignment) error {
 
 // ReadSolution parses a design file, returning the assignment carried by
 // its order directives (nil when absent).
-func ReadSolution(r io.Reader) (*Problem, *Assignment, error) { return design.ReadSolution(r) }
+func ReadSolution(r io.Reader) (p *Problem, a *Assignment, err error) {
+	defer recoverStage("read-solution", &err)
+	return design.ReadSolution(r)
+}
 
 // ImproveVias runs the Kubo–Takahashi-style iterative via improvement on
 // every quadrant of an assignment, returning the per-quadrant via plans and
 // the improved routing stats. It never worsens the density.
 func ImproveVias(p *Problem, a *Assignment, maxPasses int) ([4]ViaPlan, *RouteStats, error) {
-	return route.ImproveViasAll(p, a, maxPasses)
+	plans, st, _, err := ImproveViasContext(context.Background(), p, a, maxPasses)
+	return plans, st, err
+}
+
+// ImproveViasContext is ImproveVias with cancellation: when ctx expires the
+// improvement stops at the best plan reached so far (never worse than the
+// default bottom-left-corner plan) and stopped reports the cut.
+func ImproveViasContext(ctx context.Context, p *Problem, a *Assignment, maxPasses int) (plans [4]ViaPlan, st *RouteStats, stopped bool, err error) {
+	defer recoverStage("improve-vias", &err)
+	return route.ImproveViasAllContext(ctx, p, a, maxPasses)
 }

@@ -12,9 +12,12 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"copack/internal/faultinject"
 )
 
 // Target is the state being annealed. Implementations mutate themselves in
@@ -92,6 +95,14 @@ type Stats struct {
 	Uphill     int // accepted moves with positive delta
 	FinalCost  float64
 	BestCost   float64
+	// Interrupted reports that the run stopped before the schedule cooled
+	// out because the context was cancelled (or a fault was injected).
+	// The target's final state — and FinalCost — are whatever the run had
+	// reached; BestCost and the Snapshotter contract still hold.
+	Interrupted bool
+	// Stopped is the human-readable reason for an interrupted run
+	// ("context deadline exceeded", …); empty otherwise.
+	Stopped string
 }
 
 // Minimize anneals the target from initialCost and returns run statistics.
@@ -99,6 +110,24 @@ type Stats struct {
 // implements Snapshotter additionally receives a Snapshot call at every new
 // best, so it can restore the BestCost state afterwards.
 func Minimize(t Target, initialCost float64, s Schedule, rng *rand.Rand) (Stats, error) {
+	return MinimizeContext(context.Background(), t, initialCost, s, rng)
+}
+
+// checkEvery is how many moves pass between mid-plateau cancellation
+// checks. Small enough that a cancelled run stops within a handful of
+// proposals, large enough that the context poll is free next to the
+// proposal work.
+const checkEvery = 16
+
+// MinimizeContext is Minimize with cancellation: the run polls ctx at
+// every plateau and every checkEvery moves within a plateau, and on
+// cancellation stops cleanly, returning consistent Stats with Interrupted
+// set instead of an error. The target keeps its current (annealed-so-far)
+// state and any Snapshotter best is already captured — cancellation never
+// loses work, it only cuts the schedule short. An uncancelled run is
+// move-for-move identical to Minimize with the same seed: the polls never
+// touch the rng.
+func MinimizeContext(ctx context.Context, t Target, initialCost float64, s Schedule, rng *rand.Rand) (Stats, error) {
 	if err := s.Validate(); err != nil {
 		return Stats{}, err
 	}
@@ -109,11 +138,28 @@ func Minimize(t Target, initialCost float64, s Schedule, rng *rand.Rand) (Stats,
 	if snapshotter != nil {
 		snapshotter.Snapshot()
 	}
+	interrupt := func(err error) Stats {
+		stats.Interrupted = true
+		stats.Stopped = err.Error()
+		stats.FinalCost = cost
+		return stats
+	}
 	stall := 0
 	for temp := s.InitialTemp; temp >= s.FinalTemp; temp *= s.Cooling {
+		if err := faultinject.Fire(faultinject.AnnealPlateau); err != nil {
+			return interrupt(err), nil
+		}
+		if err := ctx.Err(); err != nil {
+			return interrupt(err), nil
+		}
 		stats.Plateaus++
 		acceptedHere := 0
 		for move := 0; move < s.MovesPerTemp; move++ {
+			if move%checkEvery == checkEvery-1 {
+				if err := ctx.Err(); err != nil {
+					return interrupt(err), nil
+				}
+			}
 			delta, revert, ok := t.Propose(rng)
 			if !ok {
 				stats.Infeasible++

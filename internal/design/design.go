@@ -35,6 +35,7 @@ import (
 
 	"copack/internal/bga"
 	"copack/internal/core"
+	"copack/internal/faultinject"
 	"copack/internal/netlist"
 )
 
@@ -193,6 +194,9 @@ func parse(r io.Reader) (*parser, error) {
 	}
 	for sc.Scan() {
 		ps.lineno++
+		if err := faultinject.Fire(faultinject.DesignLine); err != nil {
+			return nil, ps.errf("%v", err)
+		}
 		line := sc.Text()
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]

@@ -1,0 +1,76 @@
+package exchange
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"copack/internal/anneal"
+	"copack/internal/assign"
+	"copack/internal/core"
+	"copack/internal/gen"
+)
+
+func TestRunContextCancelledReturnsLegalPartial(t *testing.T) {
+	p := gen.MustBuild(gen.Table1()[2], gen.Options{Seed: 3})
+	initial, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	// A schedule that would anneal for a long time without the deadline.
+	res, err := RunContext(ctx, p, initial, Options{
+		Seed:     1,
+		Schedule: anneal.Schedule{InitialTemp: 1, FinalTemp: 1e-9, Cooling: 0.9999, MovesPerTemp: 100000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("deadline run not marked Interrupted")
+	}
+	if !res.Stats.Interrupted || res.Stats.Stopped == "" {
+		t.Errorf("anneal stats lack the interruption: %+v", res.Stats)
+	}
+	if !res.Legal {
+		t.Error("interrupted exchange returned an illegal order")
+	}
+	if err := core.CheckMonotonic(p, res.Assignment); err != nil {
+		t.Errorf("interrupted assignment not monotonic: %v", err)
+	}
+	// The After metrics still describe the returned order.
+	if res.After.MaxDensity == 0 && res.Before.MaxDensity != 0 {
+		t.Error("interrupted result lacks After metrics")
+	}
+}
+
+func TestRunContextUncancelledMatchesRun(t *testing.T) {
+	p := gen.MustBuild(gen.Table1()[0], gen.Options{Seed: 1})
+	initial, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Seed: 7}
+	a, err := Run(p, initial, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), p, initial.Clone(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("stats diverge: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if b.Interrupted {
+		t.Error("uncancelled run marked Interrupted")
+	}
+	for side, slots := range a.Assignment.Slots {
+		for i, id := range slots {
+			if b.Assignment.Slots[side][i] != id {
+				t.Fatalf("orders diverge at side %d slot %d", side, i)
+			}
+		}
+	}
+}

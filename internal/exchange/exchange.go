@@ -21,6 +21,7 @@
 package exchange
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -89,6 +90,13 @@ type Result struct {
 	// Legal reports whether the final order is monotonic-routable; it
 	// can only be false when DisableRangeConstraint is set.
 	Legal bool
+	// Interrupted reports that the anneal was cut short (context
+	// cancellation or an injected fault; see Stats.Stopped for the
+	// reason). Assignment then holds the annealed-so-far order — or the
+	// initial order, when the cut caught the anneal in a state Eq 3
+	// scores worse than the start — so a partial answer is always legal
+	// under the range constraint and never loses ground.
+	Interrupted bool
 }
 
 // sectionData caches, for one quadrant, the Eq 2 bookkeeping. The paper
@@ -264,6 +272,14 @@ func (s *state) pickSlot(rng *rand.Rand) (bga.Side, int, bool) {
 
 // Run executes the finger/pad exchange on a copy of the initial assignment.
 func Run(p *core.Problem, initial *core.Assignment, opt Options) (*Result, error) {
+	return RunContext(context.Background(), p, initial, opt)
+}
+
+// RunContext is Run with cancellation: when ctx expires mid-anneal the
+// exchange stops, evaluates whatever order the annealer had reached and
+// returns it as a normal Result with Interrupted set — never an error. An
+// uncancelled run is identical to Run for the same seed.
+func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, opt Options) (*Result, error) {
 	if err := core.CheckMonotonic(p, initial); err != nil {
 		return nil, fmt.Errorf("exchange: initial assignment: %v", err)
 	}
@@ -334,9 +350,16 @@ func Run(p *core.Problem, initial *core.Assignment, opt Options) (*Result, error
 	}
 
 	rng := rand.New(rand.NewSource(opt.Seed))
-	stats, err := anneal.Minimize(st, st.cost(), sched, rng)
+	cost0 := st.cost()
+	stats, err := anneal.MinimizeContext(ctx, st, cost0, sched, rng)
 	if err != nil {
 		return nil, err
+	}
+	if stats.Interrupted && st.cost() > cost0 {
+		// The cut caught the anneal mid-high-temperature, in a state Eq 3
+		// scores worse than the start. The initial order is the better
+		// answer — an interrupted exchange must never lose ground.
+		st.a = initial.Clone()
 	}
 	legal := core.CheckMonotonic(p, st.a) == nil
 	after := Metrics{
@@ -358,11 +381,12 @@ func Run(p *core.Problem, initial *core.Assignment, opt Options) (*Result, error
 		after.Wirelength = rs.Wirelength
 	}
 	return &Result{
-		Assignment: st.a,
-		Before:     before,
-		After:      after,
-		Stats:      stats,
-		Legal:      legal,
+		Assignment:  st.a,
+		Before:      before,
+		After:       after,
+		Stats:       stats,
+		Legal:       legal,
+		Interrupted: stats.Interrupted,
 	}, nil
 }
 

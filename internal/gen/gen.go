@@ -115,11 +115,17 @@ func Build(tc TestCircuit, opt Options) (*core.Problem, error) {
 		case opt.GroundEvery > 0 && i%opt.GroundEvery == 0:
 			class = netlist.Ground
 		}
-		c.MustAddNet(netlist.Net{
+		// AddNet, not MustAddNet: Build sits behind the public
+		// copack.BuildCircuit, so constructor failures must surface as
+		// errors, never as panics — even for option combinations the
+		// generator did not anticipate.
+		if _, err := c.AddNet(netlist.Net{
 			Name:  fmt.Sprintf("N%d", i),
 			Class: class,
 			Tier:  1 + i%opt.Tiers,
-		})
+		}); err != nil {
+			return nil, fmt.Errorf("gen: %v", err)
+		}
 	}
 
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -194,6 +200,11 @@ const noNet = int(bga.NoNet)
 // fillerQuadrant builds a minimal rows-line quadrant holding one net per
 // line starting at net id base. The worked-example fixtures use fillers for
 // the three quadrants the paper's figures do not draw.
+//
+// The panics in this function and in Fig5/Fig13 below are true invariant
+// panics, not input handling: the fixtures are compile-time constants
+// transcribed from the paper's figures, so a constructor error here means
+// the source code itself is wrong. No user input reaches them.
 func fillerQuadrant(side bga.Side, base, rows int) *bga.Quadrant {
 	rr := make([]bga.Row, rows)
 	for i := range rr {

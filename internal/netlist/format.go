@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"copack/internal/faultinject"
 )
 
 // The circuit file format is a line-oriented text format:
@@ -48,6 +50,9 @@ func Read(r io.Reader) (*Circuit, error) {
 	lineno := 0
 	for sc.Scan() {
 		lineno++
+		if err := faultinject.Fire(faultinject.NetlistLine); err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %v", lineno, err)
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue

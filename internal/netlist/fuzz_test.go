@@ -1,0 +1,47 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCircuit checks that no input — however malformed — can crash or
+// hang the circuit parser, and that every accepted circuit round-trips:
+// Parse → String → Parse yields the same text.
+func FuzzParseCircuit(f *testing.F) {
+	seeds := []string{
+		"circuit c\nnet a signal\n",
+		"circuit c\nnet a signal\nnet b power\nnet c ground\n",
+		"circuit c\nnet a signal 1\nnet b power 2\nnet c signal 2\n",
+		"# header\n\ncircuit c\n  # indented comment\nnet a signal\n\nnet b p 2\n",
+		"net a signal\n",
+		"circuit a\ncircuit b\n",
+		"circuit a\nfoo bar\n",
+		"circuit a\nnet x banana\n",
+		"circuit a\nnet x signal two\n",
+		"circuit a\nnet x signal\nnet x signal\n",
+		"circuit a\n",
+		"circuit a\nnet x signal 2000000000\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := Parse(text)
+		if err != nil {
+			return // rejected input: any error is fine, crashing is not
+		}
+		out := c.String()
+		c2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\n%s", err, out)
+		}
+		if out2 := c2.String(); out2 != out {
+			t.Fatalf("round-trip not stable:\n--- first ---\n%s\n--- second ---\n%s", out, out2)
+		}
+		if strings.TrimSpace(out) == "" {
+			t.Fatal("accepted circuit formats to nothing")
+		}
+	})
+}

@@ -106,7 +106,10 @@ func (c *Circuit) AddNet(n Net) (ID, error) {
 }
 
 // MustAddNet is AddNet for programmatic construction where the inputs are
-// known valid; it panics on error.
+// known valid; it panics on error. It must never sit on a path fed by user
+// input (parsers and public constructors use AddNet and return the error);
+// the remaining callers are fixed test fixtures and Clone, whose inputs a
+// valid circuit already vouches for.
 func (c *Circuit) MustAddNet(n Net) ID {
 	id, err := c.AddNet(n)
 	if err != nil {
@@ -195,11 +198,17 @@ func (c *Circuit) Validate() error {
 	if len(c.nets) == 0 {
 		return fmt.Errorf("netlist: circuit %q has no nets", c.Name)
 	}
+	// Contiguity check in O(nets), not O(max tier): every tier is >= 1
+	// (AddNet), so the distinct tier count equals the maximum exactly
+	// when tiers 1..max are all present. Walking 1..max instead would let
+	// a parsed "net x signal 2000000000" stall validation for minutes.
 	tiers := c.TierCounts()
 	max := c.NumTiers()
-	for t := 1; t <= max; t++ {
-		if tiers[t] == 0 {
-			return fmt.Errorf("netlist: circuit %q uses tier %d but tier %d is empty", c.Name, max, t)
+	if len(tiers) != max {
+		for t := 1; ; t++ {
+			if tiers[t] == 0 {
+				return fmt.Errorf("netlist: circuit %q uses tier %d but tier %d is empty", c.Name, max, t)
+			}
 		}
 	}
 	return nil

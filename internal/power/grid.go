@@ -11,8 +11,11 @@
 package power
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"copack/internal/faultinject"
 )
 
 // GridSpec describes the discretized core power grid.
@@ -121,6 +124,15 @@ type Solution struct {
 	V          []float64 // row-major: V[j*Nx+i]
 	Iterations int
 	Residual   float64
+	// Converged reports that the iteration met its tolerance. When false
+	// — the solver ran out of MaxIter (starvation) or was cancelled — V
+	// is the current iterate and Residual quantifies how far it is from a
+	// solution; callers must treat the voltages as an estimate, not a
+	// sign-off answer.
+	Converged bool
+	// Stopped is the reason a non-converged solve ended early ("max
+	// iterations", the context error, …); empty when Converged.
+	Stopped string
 }
 
 // At returns the voltage of node (i, j).
@@ -162,6 +174,14 @@ func (s *Solution) WorstNode() (i, j int) {
 // is required (otherwise the system is singular: every node only sinks
 // current). Duplicate pads are allowed and collapse to one Dirichlet node.
 func Solve(g GridSpec, pads []Pad, opt SolveOptions) (*Solution, error) {
+	return SolveContext(context.Background(), g, pads, opt)
+}
+
+// SolveContext is Solve with cancellation: the iteration polls ctx and on
+// cancellation returns the current iterate (Converged=false, Stopped set,
+// Residual computed) instead of an error, so a deadline still yields a
+// best-effort voltage map. Real input errors are still errors.
+func SolveContext(ctx context.Context, g GridSpec, pads []Pad, opt SolveOptions) (*Solution, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -184,12 +204,21 @@ func Solve(g GridSpec, pads []Pad, opt SolveOptions) (*Solution, error) {
 	}
 	switch opt.Method {
 	case SOR:
-		return solveSOR(g, isPad, opt)
+		return solveSOR(ctx, g, isPad, opt)
 	case CG:
-		return solveCG(g, isPad, opt)
+		return solveCG(ctx, g, isPad, opt)
 	default:
 		return nil, fmt.Errorf("power: unknown method %d", opt.Method)
 	}
+}
+
+// iterCheck polls the fault-injection site and the context once per solver
+// iteration; a non-nil result is the reason to stop iterating.
+func iterCheck(ctx context.Context) error {
+	if err := faultinject.Fire(faultinject.PowerIteration); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // conductances returns the branch conductances gx (between x-neighbors) and
@@ -251,7 +280,7 @@ func residualNorm(g GridSpec, isPad []bool, v []float64) float64 {
 	return worst
 }
 
-func solveSOR(g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
+func solveSOR(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
 	gx, gy := conductances(g)
 	sink := sinks(g)
 	v := make([]float64, g.Nx*g.Ny)
@@ -264,9 +293,15 @@ func solveSOR(g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
 	if scale == 0 {
 		scale = 1
 	}
-	var it int
 	var res float64
-	for it = 0; it < opt.MaxIter; it++ {
+	sweeps := 0 // completed sweeps: 0 means v is still the flat initial guess
+	converged := false
+	stopped := "max iterations"
+	for it := 0; it < opt.MaxIter; it++ {
+		if err := iterCheck(ctx); err != nil {
+			stopped = err.Error()
+			break
+		}
 		for j := 0; j < g.Ny; j++ {
 			for i := 0; i < g.Nx; i++ {
 				k := j*g.Nx + i
@@ -294,20 +329,31 @@ func solveSOR(g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
 				v[k] += opt.Omega * (next - v[k])
 			}
 		}
+		sweeps++
 		if it%8 == 7 {
 			res = residualNorm(g, isPad, v)
 			if res <= opt.Tol*scale*float64(g.Nx*g.Ny) {
+				converged = true
 				break
 			}
 		}
 	}
 	res = residualNorm(g, isPad, v)
-	return &Solution{Spec: g, V: v, Iterations: it + 1, Residual: res}, nil
+	if !converged {
+		// The in-loop test only runs every 8 sweeps; the exit iterate may
+		// already be good enough.
+		converged = res <= opt.Tol*scale*float64(g.Nx*g.Ny)
+	}
+	sol := &Solution{Spec: g, V: v, Iterations: sweeps, Residual: res, Converged: converged}
+	if !converged {
+		sol.Stopped = stopped
+	}
+	return sol, nil
 }
 
 // solveCG solves the Dirichlet-eliminated SPD system with Jacobi-
 // preconditioned conjugate gradients.
-func solveCG(g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
+func solveCG(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
 	gx, gy := conductances(g)
 	sink := sinks(g)
 	n := g.Nx * g.Ny
@@ -329,7 +375,7 @@ func solveCG(g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
 		for k := range v {
 			v[k] = g.Vdd
 		}
-		return &Solution{Spec: g, V: v, Iterations: 0}, nil
+		return &Solution{Spec: g, V: v, Iterations: 0, Converged: true}, nil
 	}
 
 	diag := make([]float64, m)
@@ -410,8 +456,15 @@ func solveCG(g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
 	rz := dot(r, z)
 
 	var it int
+	converged := false
+	stopped := "max iterations"
 	for it = 0; it < opt.MaxIter; it++ {
 		if math.Sqrt(dot(r, r)) <= opt.Tol*bnorm {
+			converged = true
+			break
+		}
+		if err := iterCheck(ctx); err != nil {
+			stopped = err.Error()
 			break
 		}
 		mul(p, ap)
@@ -429,6 +482,10 @@ func solveCG(g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
 		}
 	}
 
+	if !converged {
+		// MaxIter may have landed exactly on a converged iterate.
+		converged = math.Sqrt(dot(r, r)) <= opt.Tol*bnorm
+	}
 	v := make([]float64, n)
 	for k := 0; k < n; k++ {
 		if isPad[k] {
@@ -437,7 +494,11 @@ func solveCG(g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
 			v[k] = x[idx[k]]
 		}
 	}
-	return &Solution{Spec: g, V: v, Iterations: it, Residual: residualNorm(g, isPad, v)}, nil
+	sol := &Solution{Spec: g, V: v, Iterations: it, Residual: residualNorm(g, isPad, v), Converged: converged}
+	if !converged {
+		sol.Stopped = stopped
+	}
+	return sol, nil
 }
 
 func dot(a, b []float64) float64 {

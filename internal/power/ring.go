@@ -1,6 +1,7 @@
 package power
 
 import (
+	"context"
 	"sort"
 
 	"copack/internal/bga"
@@ -129,6 +130,12 @@ func edgeNode(side bga.Side, frac float64, g GridSpec) Pad {
 // onto the grid and solves it.
 func SolveAssignment(p *core.Problem, a *core.Assignment, g GridSpec, opt SolveOptions, classes ...netlist.NetClass) (*Solution, error) {
 	return Solve(g, PadsForAssignment(p, a, g, classes...), opt)
+}
+
+// SolveAssignmentContext is SolveAssignment with cancellation (see
+// SolveContext).
+func SolveAssignmentContext(ctx context.Context, p *core.Problem, a *core.Assignment, g GridSpec, opt SolveOptions, classes ...netlist.NetClass) (*Solution, error) {
+	return SolveContext(ctx, g, PadsForAssignment(p, a, g, classes...), opt)
 }
 
 // DefaultChipGrid returns a reasonable grid spec for experiments: a square

@@ -1,0 +1,67 @@
+package route
+
+import (
+	"context"
+	"testing"
+
+	"copack/internal/assign"
+	"copack/internal/gen"
+)
+
+func TestImproveViasAllContextCancelled(t *testing.T) {
+	p := gen.MustBuild(gen.Table1()[1], gen.Options{Seed: 2})
+	a, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Evaluate(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	plans, st, stopped, err := ImproveViasAllContext(ctx, p, a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stopped {
+		t.Fatal("cancelled improvement not reported as stopped")
+	}
+	// No pass ran: every plan is the default and the stats equal the
+	// plain evaluation — complete, package-wide, and never worse.
+	for side, plan := range plans {
+		if len(plan) != 0 {
+			t.Errorf("side %d: cancelled run produced a non-default plan", side)
+		}
+	}
+	if st.MaxDensity != base.MaxDensity {
+		t.Errorf("cancelled stats density %d != base %d", st.MaxDensity, base.MaxDensity)
+	}
+}
+
+func TestImproveViasAllContextUncancelledMatches(t *testing.T) {
+	p := gen.MustBuild(gen.Table1()[1], gen.Options{Seed: 2})
+	a, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, s1, err := ImproveViasAll(p, a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, s2, stopped, err := ImproveViasAllContext(context.Background(), p, a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stopped {
+		t.Error("uncancelled run reported stopped")
+	}
+	if s1.MaxDensity != s2.MaxDensity || s1.Wirelength != s2.Wirelength {
+		t.Errorf("stats diverge: %+v vs %+v", s1, s2)
+	}
+	for side := range p1 {
+		if len(p1[side]) != len(p2[side]) {
+			t.Errorf("side %d: plans diverge", side)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package route
 
 import (
+	"context"
 	"fmt"
 
 	"copack/internal/bga"
 	"copack/internal/core"
+	"copack/internal/faultinject"
 	"copack/internal/netlist"
 )
 
@@ -107,16 +109,35 @@ func wirelengthVias(p *core.Problem, q *bga.Quadrant, order []netlist.ID, plan V
 // the first strictly improving legal shift is taken; passes repeat until a
 // fixed point or maxPasses.
 func ImproveVias(p *core.Problem, side bga.Side, order []netlist.ID, maxPasses int) (ViaPlan, QuadrantStats, error) {
+	plan, qs, _, err := ImproveViasContext(context.Background(), p, side, order, maxPasses)
+	return plan, qs, err
+}
+
+// ImproveViasContext is ImproveVias with cancellation: the pass loop polls
+// ctx (and the fault-injection site) between passes, and on cancellation
+// returns the best plan reached so far with stopped=true. Because the
+// improvement is strictly monotone, a stopped result is never worse than
+// the default plan.
+func ImproveViasContext(ctx context.Context, p *core.Problem, side bga.Side, order []netlist.ID, maxPasses int) (ViaPlan, QuadrantStats, bool, error) {
 	if maxPasses <= 0 {
 		maxPasses = 16
 	}
 	plan := make(ViaPlan)
 	best, err := EvaluateQuadrantVias(p, side, order, plan)
 	if err != nil {
-		return nil, QuadrantStats{}, err
+		return nil, QuadrantStats{}, false, err
 	}
 	q := p.Pkg.Quadrant(side)
+	stopped := false
 	for pass := 0; pass < maxPasses; pass++ {
+		if err := faultinject.Fire(faultinject.RoutePass); err != nil {
+			stopped = true
+			break
+		}
+		if ctx.Err() != nil {
+			stopped = true
+			break
+		}
 		improved := false
 		for _, id := range order {
 			for _, dir := range []int{1, -1} {
@@ -140,7 +161,7 @@ func ImproveVias(p *core.Problem, side bga.Side, order []netlist.ID, maxPasses i
 			break
 		}
 	}
-	return plan, best, nil
+	return plan, best, stopped, nil
 }
 
 // shove builds a trial plan where net id's via moves one site in dir; a
@@ -187,13 +208,24 @@ func shove(q *bga.Quadrant, plan ViaPlan, id netlist.ID, dir int) (ViaPlan, bool
 // ImproveViasAll runs ImproveVias on every quadrant of an assignment and
 // returns the per-side plans and the resulting package-wide stats.
 func ImproveViasAll(p *core.Problem, a *core.Assignment, maxPasses int) ([bga.NumSides]ViaPlan, *Stats, error) {
+	plans, out, _, err := ImproveViasAllContext(context.Background(), p, a, maxPasses)
+	return plans, out, err
+}
+
+// ImproveViasAllContext is ImproveViasAll with cancellation. After ctx
+// expires each remaining quadrant stops improving immediately (its default
+// plan is still evaluated, so the stats stay complete and package-wide);
+// stopped=true reports that at least one quadrant was cut short.
+func ImproveViasAllContext(ctx context.Context, p *core.Problem, a *core.Assignment, maxPasses int) ([bga.NumSides]ViaPlan, *Stats, bool, error) {
 	var plans [bga.NumSides]ViaPlan
 	out := &Stats{}
+	stopped := false
 	for _, side := range bga.Sides() {
-		plan, qs, err := ImproveVias(p, side, a.Slots[side], maxPasses)
+		plan, qs, st, err := ImproveViasContext(ctx, p, side, a.Slots[side], maxPasses)
 		if err != nil {
-			return plans, nil, err
+			return plans, nil, stopped, err
 		}
+		stopped = stopped || st
 		plans[side] = plan
 		out.Quadrants[side] = qs
 		if qs.MaxDensity > out.MaxDensity {
@@ -201,5 +233,5 @@ func ImproveViasAll(p *core.Problem, a *core.Assignment, maxPasses int) ([bga.Nu
 		}
 		out.Wirelength += qs.Wirelength
 	}
-	return plans, out, nil
+	return plans, out, stopped, nil
 }
