@@ -411,3 +411,65 @@ func BenchmarkDRC(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel speedup (the worker-pool layer) ----------------------------
+
+// BenchmarkParallelSpeedup measures the three parallelized surfaces —
+// multi-start exchange, large-grid IR solve, and the Table 2 harness — at
+// 1, 2, 4 and 8 workers. Every variant returns byte-identical results; only
+// the wall clock may change (and only on multi-core hosts: with GOMAXPROCS=1
+// all worker counts degenerate to sequential execution).
+func BenchmarkParallelSpeedup(b *testing.B) {
+	workerCounts := []int{1, 2, 4, 8}
+
+	b.Run("exchange", func(b *testing.B) {
+		p := gen.MustBuild(gen.Table1()[2], gen.Options{Seed: 1, Tiers: 4})
+		dfaA, err := assign.DFA(p, assign.DFAOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := exchange.Run(p, dfaA, exchange.Options{Seed: 1, Restarts: 4, Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+
+	b.Run("power", func(b *testing.B) {
+		// 96×96 = 9216 nodes: above the threshold, so the red-black /
+		// chunked kernels are active and Workers can shard them.
+		g := power.GridSpec{
+			Nx: 96, Ny: 96, Width: 100, Height: 100,
+			RsX: 0.05, RsY: 0.05, Vdd: 1.0, CurrentDensity: 1e-5,
+		}
+		var pads []power.Pad
+		for i := 0; i < g.Nx; i += 7 {
+			pads = append(pads, power.Pad{I: i, J: 0}, power.Pad{I: i, J: g.Ny - 1})
+		}
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := power.Solve(g, pads, power.SolveOptions{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+
+	b.Run("table2", func(b *testing.B) {
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := exp.Table2With(1, 10, exp.Harness{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+}

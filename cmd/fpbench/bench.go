@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"copack/internal/assign"
+	"copack/internal/exchange"
+	"copack/internal/exp"
+	"copack/internal/gen"
+	"copack/internal/power"
+)
+
+// benchEntry is one timed (surface, workers) measurement.
+type benchEntry struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// benchReport is the BENCH_<date>.json schema. CPUs and GoMaxProcs are
+// recorded because the speedups are only meaningful relative to them.
+type benchReport struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	CPUs       int          `json:"cpus"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Entries    []benchEntry `json:"entries"`
+}
+
+// runBench times the three parallelized surfaces — multi-start exchange,
+// large-grid IR solve and the Table 2 harness — at 1, 2, 4 and 8 workers.
+// Every variant computes identical results; only wall clock varies. With
+// jsonOut it writes BENCH_<date>.json into outDir.
+func runBench(outDir string, jsonOut bool) error {
+	rep := &benchReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	workerCounts := []int{1, 2, 4, 8}
+
+	p := gen.MustBuild(gen.Table1()[2], gen.Options{Seed: 1, Tiers: 4})
+	dfaA, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		return err
+	}
+	g := power.GridSpec{
+		Nx: 96, Ny: 96, Width: 100, Height: 100,
+		RsX: 0.05, RsY: 0.05, Vdd: 1.0, CurrentDensity: 1e-5,
+	}
+	var pads []power.Pad
+	for i := 0; i < g.Nx; i += 7 {
+		pads = append(pads, power.Pad{I: i, J: 0}, power.Pad{I: i, J: g.Ny - 1})
+	}
+
+	surfaces := []struct {
+		name string
+		run  func(workers int) error
+	}{
+		{"exchange/restarts4", func(w int) error {
+			_, err := exchange.Run(p, dfaA, exchange.Options{Seed: 1, Restarts: 4, Workers: w})
+			return err
+		}},
+		{"power/solve96x96", func(w int) error {
+			_, err := power.Solve(g, pads, power.SolveOptions{Workers: w})
+			return err
+		}},
+		{"exp/table2", func(w int) error {
+			_, err := exp.Table2With(1, 10, exp.Harness{Workers: w})
+			return err
+		}},
+	}
+
+	fmt.Printf("== Parallel speedup (%d CPUs, GOMAXPROCS=%d, %s) ==\n",
+		rep.CPUs, rep.GoMaxProcs, rep.GoVersion)
+	for _, s := range surfaces {
+		var base float64
+		for _, w := range workerCounts {
+			start := time.Now()
+			if err := s.run(w); err != nil {
+				return fmt.Errorf("%s workers=%d: %v", s.name, w, err)
+			}
+			secs := time.Since(start).Seconds()
+			if w == 1 {
+				base = secs
+			}
+			e := benchEntry{Name: s.name, Workers: w, Seconds: secs}
+			if base > 0 {
+				e.SpeedupVs1 = base / secs
+			}
+			rep.Entries = append(rep.Entries, e)
+			fmt.Printf("%-20s workers=%d: %8.3fs  (%.2fx vs 1)\n", s.name, w, e.Seconds, e.SpeedupVs1)
+		}
+	}
+
+	if jsonOut {
+		path := filepath.Join(outDir, "BENCH_"+rep.Date+".json")
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

@@ -7,6 +7,11 @@
 //	fpbench -table 3            # Table 3: exchange results, ψ ∈ {1,4}
 //	fpbench -fig 6 -out plots/  # Fig 6: IR maps (writes SVGs)
 //	fpbench -all -out plots/
+//	fpbench -sweep 20 -workers 4   # Table 2 over 20 seeds on 4 workers
+//	fpbench -bench -json        # time the parallel surfaces, write BENCH_<date>.json
+//
+// -workers bounds the pool used by tables, sweeps and -bench; every output
+// is byte-identical for any value (see DESIGN.md's determinism notes).
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"copack/internal/exp"
 )
@@ -29,8 +35,19 @@ func main() {
 		sweep    = flag.Int("sweep", 0, "re-run Table 2 over this many seeds and report ratio distributions")
 		sweep3   = flag.Int("sweep3", 0, "re-run Table 3 over this many seeds and report improvement distributions")
 		flipchip = flag.Bool("flipchip", false, "compare wire-bond vs flip-chip IR-drop (the paper's §2.4 motivation)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for tables, sweeps and -bench (results are identical for any value)")
+		bench    = flag.Bool("bench", false, "time the parallel surfaces at 1/2/4/8 workers")
+		jsonOut  = flag.Bool("json", false, "with -bench: also write BENCH_<date>.json to -out")
 	)
 	flag.Parse()
+
+	// harness fans experiment work units out over -workers and reports
+	// per-unit progress on stderr; the results are byte-identical to the
+	// sequential run for any worker count.
+	harness := exp.Harness{
+		Workers:  *workers,
+		Progress: func(line string) { fmt.Fprintf(os.Stderr, "fpbench: %s\n", line) },
+	}
 
 	run := func(name string, fn func() error) {
 		if err := fn(); err != nil {
@@ -50,7 +67,7 @@ func main() {
 	if *all || *table == 2 {
 		any = true
 		run("table2", func() error {
-			res, err := exp.Table2(*seed, 10)
+			res, err := exp.Table2With(*seed, 10, harness)
 			if err != nil {
 				return err
 			}
@@ -62,7 +79,7 @@ func main() {
 	if *all || *table == 3 {
 		any = true
 		run("table3", func() error {
-			res, err := exp.Table3(*seed)
+			res, err := exp.Table3With(*seed, harness)
 			if err != nil {
 				return err
 			}
@@ -136,7 +153,7 @@ func main() {
 	if *sweep > 0 {
 		any = true
 		run("sweep", func() error {
-			res, err := exp.SweepTable2(exp.Seeds(*sweep), 10)
+			res, err := exp.SweepTable2With(exp.Seeds(*sweep), 10, harness)
 			if err != nil {
 				return err
 			}
@@ -148,7 +165,7 @@ func main() {
 	if *sweep3 > 0 {
 		any = true
 		run("sweep3", func() error {
-			res, err := exp.SweepTable3(exp.Seeds(*sweep3))
+			res, err := exp.SweepTable3With(exp.Seeds(*sweep3), harness)
 			if err != nil {
 				return err
 			}
@@ -168,6 +185,10 @@ func main() {
 			fmt.Println(res.Format())
 			return nil
 		})
+	}
+	if *bench {
+		any = true
+		run("bench", func() error { return runBench(*out, *jsonOut) })
 	}
 	if !any {
 		flag.Usage()

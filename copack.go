@@ -188,6 +188,13 @@ type Options struct {
 	// with a caller deadline on PlanContext's ctx — whichever is sooner
 	// wins.
 	Budget time.Duration
+	// Workers bounds the concurrency of every parallel path in the plan:
+	// multi-start annealing (Exchange.Restarts) and large-grid IR solves.
+	// 0 means one worker per CPU, 1 forces sequential execution. Workers
+	// NEVER changes the result — every parallel scheme is worker-count
+	// independent by construction (see DESIGN.md) — only the wall clock.
+	// Explicit Exchange.Workers / Solve.Workers values take precedence.
+	Workers int
 }
 
 // SolveOptions re-exports the IR-drop solver's tuning knobs.
@@ -328,8 +335,12 @@ func PlanContext(ctx context.Context, p *Problem, opt Options) (res *Result, err
 	if grid.Nx == 0 || grid.Ny == 0 {
 		grid = power.DefaultChipGrid(p)
 	}
+	solveOpt := opt.Solve
+	if solveOpt.Workers == 0 {
+		solveOpt.Workers = opt.Workers
+	}
 	solveDrop := func(a *Assignment, stage string, prev float64) (float64, error) {
-		sol, err := power.SolveAssignmentContext(ctx, p, a, grid, opt.Solve)
+		sol, err := power.SolveAssignmentContext(ctx, p, a, grid, solveOpt)
 		if err != nil {
 			return 0, err
 		}
@@ -372,6 +383,9 @@ func PlanContext(ctx context.Context, p *Problem, opt Options) (res *Result, err
 	exOpt := opt.Exchange
 	if exOpt.Seed == 0 {
 		exOpt.Seed = opt.Seed
+	}
+	if exOpt.Workers == 0 {
+		exOpt.Workers = opt.Workers
 	}
 	ex, err := exchange.RunContext(ctx, p, initial, exOpt)
 	if err != nil {

@@ -60,6 +60,18 @@ type Options struct {
 	// Bond is the bonding-wire geometry used for reporting; zero value
 	// takes stack.DefaultBondSpec.
 	Bond stack.BondSpec
+	// Restarts runs this many independently seeded anneals (restart k
+	// gets seed Seed+k, per anneal.SplitSeed) and keeps the one whose
+	// final order scores the lowest Eq 3 cost, breaking ties toward the
+	// lower restart index. 0 or 1 means a single anneal — the paper's
+	// method exactly. The outcome is a pure function of (problem,
+	// initial, Options): it does not depend on Workers.
+	Restarts int
+	// Workers bounds how many restarts anneal concurrently (0 means one
+	// per available CPU). It only changes the wall clock, never the
+	// result; Workers=1 runs the restarts sequentially on the calling
+	// goroutine.
+	Workers int
 }
 
 // Metrics captures the quality of an assignment before/after exchanging.
@@ -97,6 +109,13 @@ type Result struct {
 	// scores worse than the start — so a partial answer is always legal
 	// under the range constraint and never loses ground.
 	Interrupted bool
+	// Restart is the index of the winning restart (0 for single-start
+	// runs); Stats describes that restart's anneal.
+	Restart int
+	// RestartCosts lists every restart's final Eq 3 cost (recomputed
+	// from scratch, so incremental-cache drift cannot skew the
+	// selection), indexed by restart. Length Options.Restarts (min 1).
+	RestartCosts []float64
 }
 
 // sectionData caches, for one quadrant, the Eq 2 bookkeeping. The paper
@@ -311,6 +330,86 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 		sched.StallPlateaus = 25
 	}
 
+	restarts := opt.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	// Build one independent annealing state per restart. The builds are
+	// cheap next to the anneals, and doing them up front (in restart
+	// order) keeps the whole run a pure function of the options.
+	states := make([]*state, restarts)
+	for k := range states {
+		states[k] = newState(p, initial, opt)
+	}
+
+	before, err := measure(p, initial, states[0], opt)
+	if err != nil {
+		return nil, err
+	}
+
+	cost0 := states[0].cost()
+	stats, err := anneal.MinimizeRestarts(ctx, restarts, opt.Workers, func(k int) (anneal.Target, float64) {
+		return states[k], states[k].cost()
+	}, sched, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Score every restart's final order from scratch (immune to the
+	// incremental caches' floating-point drift) and keep the best; ties
+	// go to the lower restart index so the choice is deterministic.
+	costs := make([]float64, restarts)
+	win := 0
+	for k, st := range states {
+		st.trk.resyncProxy() // clear bounded drift before comparing costs
+		if stats[k].Interrupted && st.cost() > cost0 {
+			// The cut caught this anneal mid-high-temperature, in a
+			// state Eq 3 scores worse than the start. The initial order
+			// is the better answer — an interrupted exchange must never
+			// lose ground.
+			st.a = initial.Clone()
+		}
+		costs[k] = selectionCost(p, st, opt)
+		if costs[k] < costs[win] {
+			win = k
+		}
+	}
+	st := states[win]
+	legal := core.CheckMonotonic(p, st.a) == nil
+	after := Metrics{
+		Proxy:      power.ProxyForAssignment(p, st.a, opt.Classes...),
+		Omega:      stack.OmegaAssignment(p, st.a),
+		BondLength: stack.TotalBondLength(p, st.a, opt.Bond),
+	}
+	for _, side := range bga.Sides() {
+		if v := st.sections[side].id(st.a.Slots[side]); v > after.ID {
+			after.ID = v
+		}
+	}
+	if legal {
+		rs, err := route.Evaluate(p, st.a)
+		if err != nil {
+			return nil, err
+		}
+		after.MaxDensity = rs.MaxDensity
+		after.Wirelength = rs.Wirelength
+	}
+	return &Result{
+		Assignment:   st.a,
+		Before:       before,
+		After:        after,
+		Stats:        stats[win],
+		Legal:        legal,
+		Interrupted:  stats[win].Interrupted,
+		Restart:      win,
+		RestartCosts: costs,
+	}, nil
+}
+
+// newState builds one annealing state over a private clone of the initial
+// assignment. Each restart gets its own: states mutate freely during the
+// anneal and must not share anything.
+func newState(p *core.Problem, initial *core.Assignment, opt Options) *state {
 	st := &state{p: p, a: initial.Clone(), opt: opt,
 		lambda: opt.Lambda, rho: opt.Rho, phi: opt.Phi}
 	for _, side := range bga.Sides() {
@@ -343,51 +442,24 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 	if st.omega0 <= 0 {
 		st.omega0 = 1
 	}
+	return st
+}
 
-	before, err := measure(p, initial, st, opt)
-	if err != nil {
-		return nil, err
-	}
-
-	rng := rand.New(rand.NewSource(opt.Seed))
-	cost0 := st.cost()
-	stats, err := anneal.MinimizeContext(ctx, st, cost0, sched, rng)
-	if err != nil {
-		return nil, err
-	}
-	if stats.Interrupted && st.cost() > cost0 {
-		// The cut caught the anneal mid-high-temperature, in a state Eq 3
-		// scores worse than the start. The initial order is the better
-		// answer — an interrupted exchange must never lose ground.
-		st.a = initial.Clone()
-	}
-	legal := core.CheckMonotonic(p, st.a) == nil
-	after := Metrics{
-		Proxy:      power.ProxyForAssignment(p, st.a, opt.Classes...),
-		Omega:      stack.OmegaAssignment(p, st.a),
-		BondLength: stack.TotalBondLength(p, st.a, opt.Bond),
-	}
+// selectionCost recomputes Eq 3 for a state's current order from scratch.
+// Restart selection goes through this, never through the incremental
+// caches, so bounded floating-point drift can not flip a winner.
+func selectionCost(p *core.Problem, st *state, opt Options) float64 {
+	idWorst := 0
 	for _, side := range bga.Sides() {
-		if v := st.sections[side].id(st.a.Slots[side]); v > after.ID {
-			after.ID = v
+		if v := st.sections[side].id(st.a.Slots[side]); v > idWorst {
+			idWorst = v
 		}
 	}
-	if legal {
-		rs, err := route.Evaluate(p, st.a)
-		if err != nil {
-			return nil, err
-		}
-		after.MaxDensity = rs.MaxDensity
-		after.Wirelength = rs.Wirelength
+	c := st.lambda*power.ProxyForAssignment(p, st.a, opt.Classes...)/st.proxy0 + st.rho*float64(idWorst)
+	if p.Tiers > 1 {
+		c += st.phi * float64(stack.OmegaAssignment(p, st.a)) / st.omega0
 	}
-	return &Result{
-		Assignment:  st.a,
-		Before:      before,
-		After:       after,
-		Stats:       stats,
-		Legal:       legal,
-		Interrupted: stats.Interrupted,
-	}, nil
+	return c
 }
 
 func measure(p *core.Problem, a *core.Assignment, st *state, opt Options) (Metrics, error) {

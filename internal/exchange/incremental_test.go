@@ -1,10 +1,12 @@
 package exchange
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
+	"copack/internal/anneal"
 	"copack/internal/assign"
 	"copack/internal/bga"
 	"copack/internal/gen"
@@ -64,6 +66,42 @@ func TestTrackerMatchesFullRecompute(t *testing.T) {
 		}
 		if tiers > 1 && st.trk.omega != wantOmega {
 			t.Fatalf("tiers %d: final omega cache %d, recompute %d", tiers, st.trk.omega, wantOmega)
+		}
+	}
+}
+
+// After a full anneal — ~10⁵ priced moves, tens of thousands of applies —
+// the incremental proxy must still match a from-scratch recompute within
+// 1e-9 *without* any final resync. The periodic resync every
+// resyncInterval applies is what bounds the drift; if this test fails,
+// tighten resyncInterval. (RunContext additionally resyncs once before
+// restart selection, so selection sees zero drift; this test deliberately
+// goes through the internal pieces to measure the raw bound.)
+func TestTrackerDriftBoundedAfterFullAnneal(t *testing.T) {
+	for _, tiers := range []int{1, 4} {
+		p := gen.MustBuild(gen.Table1()[2], gen.Options{Seed: 6, Tiers: tiers})
+		a, err := assign.DFA(p, assign.DFAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{Seed: 11, Lambda: 1, Rho: 1, Phi: 0.4}
+		st := newState(p, a, opt)
+		sched := anneal.Schedule{MovesPerTemp: 4 * p.Circuit.NumNets(), StallPlateaus: 25}
+		rng := rand.New(rand.NewSource(opt.Seed))
+		stats, err := anneal.MinimizeContext(context.Background(), st, st.cost(), sched, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Proposed < 1000 {
+			t.Fatalf("tiers=%d: anneal too short to measure drift (%d proposals)", tiers, stats.Proposed)
+		}
+		wantProxy, wantOmega := st.trk.verify(p, st.a, opt.Classes)
+		if drift := math.Abs(st.trk.proxy - wantProxy); drift > 1e-9 {
+			t.Errorf("tiers=%d: incremental proxy drifted %.3g from recompute after %d applies (interval %d too long)",
+				tiers, drift, st.trk.applies, resyncInterval)
+		}
+		if tiers > 1 && st.trk.omega != wantOmega {
+			t.Errorf("tiers=%d: omega cache %d, recompute %d", tiers, st.trk.omega, wantOmega)
 		}
 	}
 }

@@ -74,69 +74,10 @@ type Table2Result struct {
 
 // Table2 reproduces Table 2: max package density and total routed
 // wirelength for the random baseline, IFA and DFA on the five test
-// circuits.
+// circuits. It is Table2With run sequentially; the harness variant returns
+// the identical result for any worker count.
 func Table2(seed int64, randomTries int) (*Table2Result, error) {
-	if randomTries < 1 {
-		randomTries = 10
-	}
-	out := &Table2Result{}
-	var dIFA, dDFA, wIFA, wDFA float64
-	for _, tc := range gen.Table1() {
-		p, err := gen.Build(tc, gen.Options{Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		rng := rand.New(rand.NewSource(seed))
-		randA, randS, err := RandomBaseline(p, rng, randomTries)
-		if err != nil {
-			return nil, err
-		}
-		ifaA, err := assign.IFA(p)
-		if err != nil {
-			return nil, err
-		}
-		dfaA, err := assign.DFA(p, assign.DFAOptions{})
-		if err != nil {
-			return nil, err
-		}
-		// The paper computes wirelength on the realized routing, where
-		// detoured paths cost extra.
-		wl := func(a *core.Assignment) (float64, error) {
-			r, err := route.Realize(p, a)
-			if err != nil {
-				return 0, err
-			}
-			return r.TotalLength(), nil
-		}
-		ifaS, err := route.Evaluate(p, ifaA)
-		if err != nil {
-			return nil, err
-		}
-		dfaS, err := route.Evaluate(p, dfaA)
-		if err != nil {
-			return nil, err
-		}
-		row := Table2Row{Circuit: tc.Name,
-			RandomDensity: randS.MaxDensity, IFADensity: ifaS.MaxDensity, DFADensity: dfaS.MaxDensity}
-		if row.RandomWirelen, err = wl(randA); err != nil {
-			return nil, err
-		}
-		if row.IFAWirelen, err = wl(ifaA); err != nil {
-			return nil, err
-		}
-		if row.DFAWirelen, err = wl(dfaA); err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
-		dIFA += float64(row.IFADensity) / float64(row.RandomDensity)
-		dDFA += float64(row.DFADensity) / float64(row.RandomDensity)
-		wIFA += row.IFAWirelen / row.RandomWirelen
-		wDFA += row.DFAWirelen / row.RandomWirelen
-	}
-	n := float64(len(out.Rows))
-	out.AvgDensityIFA, out.AvgDensityDFA = dIFA/n, dDFA/n
-	out.AvgWirelenIFA, out.AvgWirelenDFA = wIFA/n, wDFA/n
-	return out, nil
+	return Table2With(seed, randomTries, Harness{Workers: 1})
 }
 
 // Format renders the table in the paper's layout.
@@ -192,60 +133,10 @@ func Table3Grid(p *core.Problem) power.GridSpec {
 // Table3 reproduces Table 3: for every test circuit and ψ ∈ {1, 4}, run
 // DFA, then the finger/pad exchange, and report the density before/after,
 // the solved IR-drop improvement and (for ψ=4) the bonding improvement.
+// It is Table3With run sequentially; the harness variant returns the
+// identical result for any worker count.
 func Table3(seed int64) (*Table3Result, error) {
-	out := &Table3Result{AvgIRPct: make(map[int]float64)}
-	counts := make(map[int]int)
-	var bondSum float64
-	bondCount := 0
-	for _, psi := range []int{1, 4} {
-		for _, tc := range gen.Table1() {
-			p, err := gen.Build(tc, gen.Options{Seed: seed, Tiers: psi})
-			if err != nil {
-				return nil, err
-			}
-			dfaA, err := assign.DFA(p, assign.DFAOptions{})
-			if err != nil {
-				return nil, err
-			}
-			res, err := exchange.Run(p, dfaA, exchange.Options{Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			g := Table3Grid(p)
-			before, err := power.SolveAssignment(p, dfaA, g, power.SolveOptions{})
-			if err != nil {
-				return nil, err
-			}
-			after, err := power.SolveAssignment(p, res.Assignment, g, power.SolveOptions{})
-			if err != nil {
-				return nil, err
-			}
-			row := Table3Row{
-				Circuit:              tc.Name,
-				Psi:                  psi,
-				DensityAfterDFA:      res.Before.MaxDensity,
-				DensityAfterExchange: res.After.MaxDensity,
-				IRImprovedPct:        (before.MaxDrop() - after.MaxDrop()) / before.MaxDrop() * 100,
-				OmegaBefore:          res.Before.Omega,
-				OmegaAfter:           res.After.Omega,
-			}
-			if psi > 1 {
-				row.BondImprovedPct = float64(row.OmegaBefore-row.OmegaAfter) / float64(p.Circuit.NumNets()) * 100
-				bondSum += row.BondImprovedPct
-				bondCount++
-			}
-			out.Rows = append(out.Rows, row)
-			out.AvgIRPct[psi] += row.IRImprovedPct
-			counts[psi]++
-		}
-	}
-	for psi, sum := range out.AvgIRPct {
-		out.AvgIRPct[psi] = sum / float64(counts[psi])
-	}
-	if bondCount > 0 {
-		out.AvgBondPct = bondSum / float64(bondCount)
-	}
-	return out, nil
+	return Table3With(seed, Harness{Workers: 1})
 }
 
 // Format renders the table in the paper's layout.

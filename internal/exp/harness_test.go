@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"copack/internal/gen"
+)
+
+// The harness only changes wall clock: Table 2 must come back byte-identical
+// to the classic sequential run for every worker count.
+func TestTable2WithDeterministicAcrossWorkers(t *testing.T) {
+	classic, err := Table2(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		res, err := Table2With(3, 5, Harness{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, classic) {
+			t.Errorf("workers=%d: Table2With differs from Table2:\n%s\nvs\n%s",
+				workers, res.Format(), classic.Format())
+		}
+	}
+}
+
+// Same contract for Table 3's ten (ψ, circuit) instances.
+func TestTable3WithDeterministicAcrossWorkers(t *testing.T) {
+	ref, err := Table3With(2, Harness{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Table3With(2, Harness{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Errorf("Table3With differs between workers 1 and 4:\n%s\nvs\n%s",
+			res.Format(), ref.Format())
+	}
+}
+
+// The seeded random baseline draws each try from its own stream, so the
+// winner is independent of scheduling.
+func TestRandomBaselineWithDeterministic(t *testing.T) {
+	p := gen.MustBuild(gen.Table1()[0], gen.Options{Seed: 7})
+	refA, refS, err := RandomBaselineWith(p, 7, 12, Harness{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		a, s, err := RandomBaselineWith(p, 7, 12, Harness{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Slots, refA.Slots) {
+			t.Errorf("workers=%d: baseline assignment differs", workers)
+		}
+		if s.MaxDensity != refS.MaxDensity {
+			t.Errorf("workers=%d: baseline density %d vs %d", workers, s.MaxDensity, refS.MaxDensity)
+		}
+	}
+}
+
+// A parallel sweep emits one progress line per seed and aggregates exactly
+// like the sequential sweep.
+func TestSweepTable2WithProgressAndDeterminism(t *testing.T) {
+	seeds := Seeds(3)
+	classic, err := SweepTable2(seeds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	res, err := SweepTable2With(seeds, 4, Harness{
+		Workers:  2,
+		Progress: func(line string) { lines = append(lines, line) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, classic) {
+		t.Errorf("parallel sweep differs from sequential:\n%s\nvs\n%s", res.Format(), classic.Format())
+	}
+	if len(lines) != len(seeds) {
+		t.Fatalf("got %d progress lines, want %d: %q", len(lines), len(seeds), lines)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "sweep seed") {
+			t.Errorf("unexpected progress line %q", line)
+		}
+	}
+}

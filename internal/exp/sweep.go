@@ -56,39 +56,11 @@ type SweepResult struct {
 	PerCircuitDensityDFA map[string]Dist
 }
 
-// SweepTable2 runs Table 2 for every seed and aggregates the ratios.
+// SweepTable2 runs Table 2 for every seed and aggregates the ratios. It is
+// SweepTable2With run sequentially; the harness variant returns the
+// identical summary for any worker count.
 func SweepTable2(seeds []int64, randomTries int) (*SweepResult, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("exp: sweep needs at least one seed")
-	}
-	var dIFA, dDFA, wIFA, wDFA []float64
-	perCircuit := make(map[string][]float64)
-	for _, seed := range seeds {
-		res, err := Table2(seed, randomTries)
-		if err != nil {
-			return nil, err
-		}
-		for _, row := range res.Rows {
-			rd := float64(row.RandomDensity)
-			dIFA = append(dIFA, float64(row.IFADensity)/rd)
-			dDFA = append(dDFA, float64(row.DFADensity)/rd)
-			wIFA = append(wIFA, row.IFAWirelen/row.RandomWirelen)
-			wDFA = append(wDFA, row.DFAWirelen/row.RandomWirelen)
-			perCircuit[row.Circuit] = append(perCircuit[row.Circuit], float64(row.DFADensity)/rd)
-		}
-	}
-	out := &SweepResult{
-		Seeds:                append([]int64(nil), seeds...),
-		DensityIFA:           NewDist(dIFA),
-		DensityDFA:           NewDist(dDFA),
-		WirelenIFA:           NewDist(wIFA),
-		WirelenDFA:           NewDist(wDFA),
-		PerCircuitDensityDFA: make(map[string]Dist, len(perCircuit)),
-	}
-	for name, xs := range perCircuit {
-		out.PerCircuitDensityDFA[name] = NewDist(xs)
-	}
-	return out, nil
+	return SweepTable2With(seeds, randomTries, Harness{Workers: 1})
 }
 
 // Format renders the sweep summary.
@@ -131,32 +103,10 @@ type Sweep3Result struct {
 }
 
 // SweepTable3 runs Table 3 for every seed and aggregates the improvements.
+// It is SweepTable3With run sequentially; the harness variant returns the
+// identical summary for any worker count.
 func SweepTable3(seeds []int64) (*Sweep3Result, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("exp: sweep needs at least one seed")
-	}
-	ir := map[int][]float64{}
-	var bond, growth []float64
-	for _, seed := range seeds {
-		res, err := Table3(seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, row := range res.Rows {
-			ir[row.Psi] = append(ir[row.Psi], row.IRImprovedPct)
-			growth = append(growth, float64(row.DensityAfterExchange-row.DensityAfterDFA))
-			if row.Psi > 1 {
-				bond = append(bond, row.BondImprovedPct)
-			}
-		}
-	}
-	out := &Sweep3Result{Seeds: append([]int64(nil), seeds...), IRPct: map[int]Dist{}}
-	for psi, xs := range ir {
-		out.IRPct[psi] = NewDist(xs)
-	}
-	out.BondPct = NewDist(bond)
-	out.DensityGrowth = NewDist(growth)
-	return out, nil
+	return SweepTable3With(seeds, Harness{Workers: 1})
 }
 
 // Format renders the Table 3 sweep summary.

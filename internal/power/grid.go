@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"copack/internal/faultinject"
+	"copack/internal/parallel"
 )
 
 // GridSpec describes the discretized core power grid.
@@ -98,6 +99,13 @@ type SolveOptions struct {
 	MaxIter int
 	// Omega is the SOR relaxation factor (default 1.8).
 	Omega float64
+	// Workers bounds the solver's concurrency (0 means one per available
+	// CPU). It NEVER changes the result: grids below the parallel
+	// threshold always run the exact legacy sequential scheme, and above
+	// it the red-black/chunked kernels are worker-count independent by
+	// construction — Workers only decides how their fixed work units are
+	// scheduled (see parallel.go).
+	Workers int
 }
 
 func (o SolveOptions) withDefaults(g GridSpec) SolveOptions {
@@ -281,6 +289,11 @@ func residualNorm(g GridSpec, isPad []bool, v []float64) float64 {
 }
 
 func solveSOR(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
+	if g.Nx*g.Ny >= parallelNodeThreshold {
+		// Large grids take the red-black path (worker-count independent;
+		// see parallel.go). Small grids keep the exact legacy sweep.
+		return solveSORRedBlack(ctx, g, isPad, opt)
+	}
 	gx, gy := conductances(g)
 	sink := sinks(g)
 	v := make([]float64, g.Nx*g.Ny)
@@ -405,25 +418,43 @@ func solveCG(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions) (*
 		b[u] -= sink[k]
 	}
 
+	// Above the node threshold the kernels go parallel: row-sharded
+	// mat-vec (each row writes a disjoint output — identical for any
+	// partition) and fixed-chunk dot products (deterministic summation
+	// order; see parallel.go). Below it, the exact legacy sequential
+	// scheme runs, whatever Workers says.
+	par := m >= parallelNodeThreshold
+	workers := 1
+	if par {
+		workers = parallel.Workers(opt.Workers)
+	}
+	dotf := dot
+	if par {
+		dotf = func(a, b []float64) float64 { return dotChunked(a, b, workers) }
+	}
+
 	// mul computes y = A·x for the eliminated Laplacian.
 	mul := func(x, y []float64) {
-		for u, k := range unknowns {
-			i, j := k%g.Nx, k/g.Nx
-			acc := diag[u] * x[u]
-			if i > 0 && idx[k-1] >= 0 {
-				acc -= gx * x[idx[k-1]]
+		parallelRange(m, workers, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				k := unknowns[u]
+				i, j := k%g.Nx, k/g.Nx
+				acc := diag[u] * x[u]
+				if i > 0 && idx[k-1] >= 0 {
+					acc -= gx * x[idx[k-1]]
+				}
+				if i < g.Nx-1 && idx[k+1] >= 0 {
+					acc -= gx * x[idx[k+1]]
+				}
+				if j > 0 && idx[k-g.Nx] >= 0 {
+					acc -= gy * x[idx[k-g.Nx]]
+				}
+				if j < g.Ny-1 && idx[k+g.Nx] >= 0 {
+					acc -= gy * x[idx[k+g.Nx]]
+				}
+				y[u] = acc
 			}
-			if i < g.Nx-1 && idx[k+1] >= 0 {
-				acc -= gx * x[idx[k+1]]
-			}
-			if j > 0 && idx[k-g.Nx] >= 0 {
-				acc -= gy * x[idx[k-g.Nx]]
-			}
-			if j < g.Ny-1 && idx[k+g.Nx] >= 0 {
-				acc -= gy * x[idx[k+g.Nx]]
-			}
-			y[u] = acc
-		}
+		})
 	}
 
 	x := make([]float64, m) // start from Vdd everywhere
@@ -453,13 +484,13 @@ func solveCG(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions) (*
 	}
 	precond(r, z)
 	copy(p, z)
-	rz := dot(r, z)
+	rz := dotf(r, z)
 
 	var it int
 	converged := false
 	stopped := "max iterations"
 	for it = 0; it < opt.MaxIter; it++ {
-		if math.Sqrt(dot(r, r)) <= opt.Tol*bnorm {
+		if math.Sqrt(dotf(r, r)) <= opt.Tol*bnorm {
 			converged = true
 			break
 		}
@@ -468,13 +499,13 @@ func solveCG(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions) (*
 			break
 		}
 		mul(p, ap)
-		alpha := rz / dot(p, ap)
+		alpha := rz / dotf(p, ap)
 		for u := range x {
 			x[u] += alpha * p[u]
 			r[u] -= alpha * ap[u]
 		}
 		precond(r, z)
-		rzNext := dot(r, z)
+		rzNext := dotf(r, z)
 		beta := rzNext / rz
 		rz = rzNext
 		for u := range p {
@@ -484,7 +515,7 @@ func solveCG(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions) (*
 
 	if !converged {
 		// MaxIter may have landed exactly on a converged iterate.
-		converged = math.Sqrt(dot(r, r)) <= opt.Tol*bnorm
+		converged = math.Sqrt(dotf(r, r)) <= opt.Tol*bnorm
 	}
 	v := make([]float64, n)
 	for k := 0; k < n; k++ {

@@ -1,0 +1,200 @@
+package power
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// bigSpec is a grid above parallelNodeThreshold, exercising the red-black
+// SOR and chunked CG paths.
+func bigSpec() GridSpec {
+	return GridSpec{
+		Nx: 70, Ny: 70, // 4900 nodes >= 4096
+		Width: 100, Height: 100,
+		RsX: 0.05, RsY: 0.05,
+		Vdd:            1.0,
+		CurrentDensity: 1e-5,
+	}
+}
+
+func ringPads(g GridSpec) []Pad {
+	var pads []Pad
+	step := 7
+	for i := 0; i < g.Nx; i += step {
+		pads = append(pads, Pad{I: i, J: 0}, Pad{I: i, J: g.Ny - 1})
+	}
+	for j := 0; j < g.Ny; j += step {
+		pads = append(pads, Pad{I: 0, J: j}, Pad{I: g.Nx - 1, J: j})
+	}
+	return pads
+}
+
+// The whole point of the size-gated scheme selection: a solve's voltages
+// must be bit-for-bit identical for every worker count, both solvers.
+func TestSolveDeterministicAcrossWorkers(t *testing.T) {
+	g := bigSpec()
+	pads := ringPads(g)
+	for _, m := range []Method{CG, SOR} {
+		// Cap SOR iterations: determinism must hold for intermediate
+		// iterates, not just converged answers, and it keeps the test fast.
+		opt := SolveOptions{Method: m, Workers: 1}
+		if m == SOR {
+			opt.MaxIter = 120
+			opt.Tol = 1e-6
+		}
+		ref, err := Solve(g, pads, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			opt.Workers = workers
+			sol, err := Solve(g, pads, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Iterations != ref.Iterations || sol.Residual != ref.Residual {
+				t.Errorf("method %d workers %d: iterations/residual %d/%g vs %d/%g",
+					m, workers, sol.Iterations, sol.Residual, ref.Iterations, ref.Residual)
+			}
+			for k := range sol.V {
+				if sol.V[k] != ref.V[k] {
+					t.Fatalf("method %d workers %d: V[%d] = %v, want %v (not bit-identical)",
+						m, workers, k, sol.V[k], ref.V[k])
+				}
+			}
+		}
+	}
+}
+
+// Red-black SOR must converge to the same solution as CG on the same grid:
+// same fixed point, different iteration.
+func TestRedBlackSORAgreesWithCG(t *testing.T) {
+	g := bigSpec()
+	pads := ringPads(g)
+	cg, err := Solve(g, pads, SolveOptions{Method: CG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cg.Converged {
+		t.Fatalf("CG did not converge: %+v", cg.Stopped)
+	}
+	sor, err := Solve(g, pads, SolveOptions{Method: SOR, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sor.Converged {
+		t.Fatalf("red-black SOR did not converge (residual %g after %d sweeps)", sor.Residual, sor.Iterations)
+	}
+	worst := 0.0
+	for k := range cg.V {
+		if d := math.Abs(cg.V[k] - sor.V[k]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-5 {
+		t.Errorf("CG and red-black SOR disagree by %g", worst)
+	}
+	if d := math.Abs(cg.MaxDrop() - sor.MaxDrop()); d > 1e-5 {
+		t.Errorf("max drops disagree: CG %g, SOR %g", cg.MaxDrop(), sor.MaxDrop())
+	}
+}
+
+// Physics sanity on the red-black path: pads pinned at Vdd, every interior
+// node strictly below it (the grid only sinks current).
+func TestRedBlackSORPhysics(t *testing.T) {
+	g := bigSpec()
+	pads := ringPads(g)
+	sol, err := Solve(g, pads, SolveOptions{Method: SOR, Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isPad := make(map[Pad]bool, len(pads))
+	for _, p := range pads {
+		isPad[p] = true
+	}
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			v := sol.At(i, j)
+			if isPad[Pad{I: i, J: j}] {
+				if v != g.Vdd {
+					t.Fatalf("pad (%d,%d) at %v, want Vdd", i, j, v)
+				}
+				continue
+			}
+			if v >= g.Vdd || v <= 0 {
+				t.Fatalf("node (%d,%d) voltage %v outside (0, Vdd)", i, j, v)
+			}
+		}
+	}
+}
+
+// Cancellation on the red-black path follows the Partial contract: current
+// iterate back, Converged=false, Stopped set, no error.
+func TestRedBlackSORCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := bigSpec()
+	sol, err := SolveContext(ctx, g, ringPads(g), SolveOptions{Method: SOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Converged {
+		t.Error("cancelled solve claims convergence")
+	}
+	if sol.Stopped == "" {
+		t.Error("cancelled solve has empty Stopped")
+	}
+	if sol.Iterations != 0 {
+		t.Errorf("cancelled-before-start solve ran %d sweeps", sol.Iterations)
+	}
+	if len(sol.V) != g.Nx*g.Ny {
+		t.Errorf("no iterate returned")
+	}
+}
+
+// Below the threshold the legacy sequential scheme runs for any Workers
+// value — the small-grid result must not depend on Workers at all.
+func TestSmallGridIgnoresWorkers(t *testing.T) {
+	g := baseSpec() // 21×21 = 441 nodes, far below the threshold
+	pads := leftEdgePads(g)
+	for _, m := range []Method{CG, SOR} {
+		ref, err := Solve(g, pads, SolveOptions{Method: m, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Solve(g, pads, SolveOptions{Method: m, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Iterations != ref.Iterations {
+			t.Errorf("method %d: iterations depend on Workers: %d vs %d", m, got.Iterations, ref.Iterations)
+		}
+		for k := range got.V {
+			if got.V[k] != ref.V[k] {
+				t.Fatalf("method %d: small-grid V[%d] depends on Workers", m, k)
+			}
+		}
+	}
+}
+
+// The chunked dot product must be bit-identical for every worker count.
+func TestDotChunkedDeterministic(t *testing.T) {
+	n := 3*dotChunkSize + 137
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = math.Sin(float64(i)) * 1e-3
+		b[i] = math.Cos(float64(i)*0.7) * 1e3
+	}
+	ref := dotChunked(a, b, 1)
+	for _, workers := range []int{2, 4, 16} {
+		if got := dotChunked(a, b, workers); got != ref {
+			t.Errorf("workers=%d: dotChunked = %v, want %v", workers, got, ref)
+		}
+	}
+	// And it agrees with the plain dot to rounding.
+	if d := math.Abs(ref - dot(a, b)); d > 1e-9*math.Abs(ref)+1e-12 {
+		t.Errorf("chunked dot %v far from plain %v", ref, dot(a, b))
+	}
+}
