@@ -15,12 +15,18 @@ import (
 	"copack/internal/power"
 )
 
-// benchEntry is one timed (surface, workers) measurement.
+// benchEntry is one timed (surface, workers) measurement. NsPerMove and
+// AllocsPerMove are only set for the exchange/move-pricing entry, which
+// measures the annealer's hot loop rather than a parallel surface.
 type benchEntry struct {
 	Name       string  `json:"name"`
 	Workers    int     `json:"workers"`
 	Seconds    float64 `json:"seconds"`
 	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	NsPerMove  float64 `json:"ns_per_move,omitempty"`
+	// AllocsPerMove is a pointer so the pricing entry records an explicit
+	// 0 (the invariant under test) while the surface entries omit it.
+	AllocsPerMove *float64 `json:"allocs_per_move,omitempty"`
 }
 
 // benchReport is the BENCH_<date>.json schema. CPUs and GoMaxProcs are
@@ -34,10 +40,12 @@ type benchReport struct {
 }
 
 // runBench times the three parallelized surfaces — multi-start exchange,
-// large-grid IR solve and the Table 2 harness — at 1, 2, 4 and 8 workers.
-// Every variant computes identical results; only wall clock varies. With
-// jsonOut it writes BENCH_<date>.json into outDir.
-func runBench(outDir string, jsonOut bool) error {
+// large-grid IR solve and the Table 2 harness — at 1, 2, 4 and 8 workers,
+// plus the annealer's per-move pricing rate. Every variant computes
+// identical results; only wall clock varies. With jsonOut it writes
+// BENCH_<date>.json into outDir (BENCH_<date>-<tag>.json with a non-empty
+// tag, so a rerun can sit beside a same-day baseline).
+func runBench(outDir string, jsonOut bool, tag string) error {
 	rep := &benchReport{
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
@@ -100,8 +108,28 @@ func runBench(outDir string, jsonOut bool) error {
 		}
 	}
 
+	// Hot-loop rate: how fast the annealer can price adjacent swaps, and
+	// that doing so allocates nothing.
+	const pricingMoves = 2_000_000
+	start := time.Now()
+	ps, err := exchange.PricingBench(p, dfaA, exchange.Options{Seed: 1}, pricingMoves)
+	if err != nil {
+		return fmt.Errorf("move-pricing: %v", err)
+	}
+	rep.Entries = append(rep.Entries, benchEntry{
+		Name: "exchange/move-pricing", Workers: 1,
+		Seconds: time.Since(start).Seconds(), SpeedupVs1: 1,
+		NsPerMove: ps.NsPerMove, AllocsPerMove: &ps.AllocsPerMove,
+	})
+	fmt.Printf("%-20s %.1f ns/move, %.3f allocs/move (%d moves)\n",
+		"exchange/move-pricing", ps.NsPerMove, ps.AllocsPerMove, pricingMoves)
+
 	if jsonOut {
-		path := filepath.Join(outDir, "BENCH_"+rep.Date+".json")
+		name := "BENCH_" + rep.Date
+		if tag != "" {
+			name += "-" + tag
+		}
+		path := filepath.Join(outDir, name+".json")
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err

@@ -9,6 +9,7 @@
 //	fpbench -all -out plots/
 //	fpbench -sweep 20 -workers 4   # Table 2 over 20 seeds on 4 workers
 //	fpbench -bench -json        # time the parallel surfaces, write BENCH_<date>.json
+//	fpbench -table 3 -cpuprofile cpu.out -memprofile mem.out   # pprof evidence
 //
 // -workers bounds the pool used by tables, sweeps and -bench; every output
 // is byte-identical for any value (see DESIGN.md's determinism notes).
@@ -20,11 +21,18 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	"copack/internal/exp"
 )
 
+// main defers to realMain so that deferred profile writers run before the
+// process exits (os.Exit would skip them).
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		table    = flag.Int("table", 0, "regenerate a table (1, 2 or 3)")
 		fig      = flag.Int("fig", 0, "regenerate a figure (5, 6, 13 or 15)")
@@ -38,8 +46,41 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for tables, sweeps and -bench (results are identical for any value)")
 		bench    = flag.Bool("bench", false, "time the parallel surfaces at 1/2/4/8 workers")
 		jsonOut  = flag.Bool("json", false, "with -bench: also write BENCH_<date>.json to -out")
+		benchTag = flag.String("benchtag", "", "with -bench -json: suffix the output file BENCH_<date>-<tag>.json")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fpbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fpbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "fpbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	// harness fans experiment work units out over -workers and reports
 	// per-unit progress on stderr; the results are byte-identical to the
@@ -49,10 +90,14 @@ func main() {
 		Progress: func(line string) { fmt.Fprintf(os.Stderr, "fpbench: %s\n", line) },
 	}
 
+	failed := false
 	run := func(name string, fn func() error) {
+		if failed {
+			return
+		}
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "fpbench: %s: %v\n", name, err)
-			os.Exit(1)
+			failed = true
 		}
 	}
 	any := false
@@ -188,10 +233,14 @@ func main() {
 	}
 	if *bench {
 		any = true
-		run("bench", func() error { return runBench(*out, *jsonOut) })
+		run("bench", func() error { return runBench(*out, *jsonOut, *benchTag) })
 	}
 	if !any {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	if failed {
+		return 1
+	}
+	return 0
 }

@@ -38,6 +38,28 @@ type Snapshotter interface {
 	Snapshot()
 }
 
+// DeltaPricer is an optional Target extension that splits move pricing from
+// mutation. A target that implements it is driven through PriceMove —
+// which must sample the same move Propose would for the same rng stream,
+// but only *price* it — followed by exactly one CommitMove (the engine
+// accepted: apply the move now) or RejectMove (abandon it). Rejected
+// moves therefore cost one evaluation and zero undos, and PriceMove can
+// run without heap allocation since no revert closure is needed. Targets
+// that don't implement DeltaPricer keep the legacy apply-then-maybe-revert
+// Propose path; the engine produces identical Stats either way.
+type DeltaPricer interface {
+	Target
+
+	// PriceMove samples a neighbor move and returns the cost delta it
+	// *would* cause, without mutating the target. ok=false means no move
+	// was sampled (counted as infeasible, like Propose's ok=false).
+	PriceMove(rng *rand.Rand) (delta float64, ok bool)
+	// CommitMove applies the last priced move.
+	CommitMove()
+	// RejectMove abandons the last priced move.
+	RejectMove()
+}
+
 // Schedule is a geometric cooling schedule.
 type Schedule struct {
 	// InitialTemp and FinalTemp bound the temperature range. The run
@@ -139,6 +161,7 @@ func MinimizeContext(ctx context.Context, t Target, initialCost float64, s Sched
 	if snapshotter != nil {
 		snapshotter.Snapshot()
 	}
+	pricer, priced := t.(DeltaPricer)
 	interrupt := func(err error) Stats {
 		stats.Interrupted = true
 		stats.Stopped = err.Error()
@@ -161,7 +184,16 @@ func MinimizeContext(ctx context.Context, t Target, initialCost float64, s Sched
 					return interrupt(err), nil
 				}
 			}
-			delta, revert, ok := t.Propose(rng)
+			var (
+				delta  float64
+				revert func()
+				ok     bool
+			)
+			if priced {
+				delta, ok = pricer.PriceMove(rng)
+			} else {
+				delta, revert, ok = t.Propose(rng)
+			}
 			if !ok {
 				stats.Infeasible++
 				continue
@@ -169,8 +201,15 @@ func MinimizeContext(ctx context.Context, t Target, initialCost float64, s Sched
 			stats.Proposed++
 			accept := delta <= 0 || rng.Float64() < math.Exp(-delta/temp)
 			if !accept {
-				revert()
+				if priced {
+					pricer.RejectMove()
+				} else {
+					revert()
+				}
 				continue
+			}
+			if priced {
+				pricer.CommitMove()
 			}
 			stats.Accepted++
 			acceptedHere++

@@ -118,76 +118,6 @@ type Result struct {
 	RestartCosts []float64
 }
 
-// sectionData caches, for one quadrant, the Eq 2 bookkeeping. The paper
-// records the sections of the highest horizontal line only, arguing its
-// density dominates; with the heavier movement of stacking-IC exchanges the
-// congestion can migrate to lower lines unseen, so by default we track the
-// sections of every line (the TopLineOnly option restores the paper's exact
-// Eq 2 — the ablation bench shows the difference).
-type sectionData struct {
-	// rowOf maps each net to its ball line.
-	rowOf map[netlist.ID]int
-	// lines lists the line indices being watched (highest first).
-	lines []int
-	// initial[k] is the section-count vector of lines[k] at the initial
-	// assignment.
-	initial [][]int
-}
-
-func newSectionData(p *core.Problem, side bga.Side, order []netlist.ID, topOnly bool) sectionData {
-	q := p.Pkg.Quadrant(side)
-	sd := sectionData{rowOf: make(map[netlist.ID]int, q.NumNets())}
-	for y := 1; y <= q.NumRows(); y++ {
-		for _, id := range q.Row(y).Nets {
-			if id != bga.NoNet {
-				sd.rowOf[id] = y
-			}
-		}
-	}
-	// Line 1 never carries passing wires, so watching it is pointless.
-	for y := q.NumRows(); y >= 2; y-- {
-		sd.lines = append(sd.lines, y)
-		if topOnly {
-			break
-		}
-	}
-	for _, y := range sd.lines {
-		sd.initial = append(sd.initial, sd.counts(order, y))
-	}
-	return sd
-}
-
-// counts returns, for one line, the number of wires crossing each of its
-// sections: nets on the line delimit the sections, nets on lower lines are
-// counted, and nets on higher lines (which never cross) are skipped.
-func (sd *sectionData) counts(order []netlist.ID, y int) []int {
-	counts := make([]int, 1, 8)
-	for _, id := range order {
-		switch r := sd.rowOf[id]; {
-		case r == y:
-			counts = append(counts, 0)
-		case r < y:
-			counts[len(counts)-1]++
-		}
-	}
-	return counts
-}
-
-// id returns Eq 2's increased density for the quadrant's current order: the
-// worst growth of any watched section versus the initial assignment.
-func (sd *sectionData) id(order []netlist.ID) int {
-	worst := 0
-	for k, y := range sd.lines {
-		cur := sd.counts(order, y)
-		for c := range cur {
-			if d := cur[c] - sd.initial[k][c]; d > worst {
-				worst = d
-			}
-		}
-	}
-	return worst
-}
-
 // state is the annealing target.
 type state struct {
 	p   *core.Problem
@@ -196,7 +126,8 @@ type state struct {
 
 	sections [bga.NumSides]sectionData
 	// idCache[side] is sections[side].id(...) for the current order,
-	// refreshed by apply so cost stays O(ring) per move.
+	// maintained from the O(1) section deltas (see sections.go) so cost
+	// stays O(1) per move.
 	idCache [bga.NumSides]int
 	// sides with at least 2 slots, for move sampling.
 	sides []bga.Side
@@ -209,6 +140,10 @@ type state struct {
 
 	// trk maintains the proxy and ω incrementally (see incremental.go).
 	trk *tracker
+
+	// pend is the move priced by the last PriceMove call (pricing.go),
+	// awaiting CommitMove or RejectMove.
+	pend pendMove
 }
 
 // Note: state deliberately does NOT implement anneal.Snapshotter. The
@@ -233,7 +168,9 @@ func (s *state) cost() float64 {
 
 // Propose implements anneal.Target: pick a pad per Fig 14 (any pad for
 // stacking ICs, a supply pad for 2-D), swap it with a random neighbor, and
-// price the move.
+// price the move. This is the legacy mutate-then-maybe-undo path; the
+// annealer uses the mutation-free PriceMove fast path (pricing.go), which
+// samples and prices the identical move for the same rng stream.
 func (s *state) Propose(rng *rand.Rand) (float64, func(), bool) {
 	side, i, ok := s.pickSlot(rng)
 	if !ok {
@@ -247,10 +184,8 @@ func (s *state) Propose(rng *rand.Rand) (float64, func(), bool) {
 	na, nb := slots[i-1], slots[j-1]
 
 	if !s.opt.DisableRangeConstraint {
-		q := s.p.Pkg.Quadrant(side)
-		ba, _ := q.Ball(na)
-		bb, _ := q.Ball(nb)
-		if ba.Y == bb.Y {
+		sd := &s.sections[side]
+		if sd.row(na) == sd.row(nb) {
 			// Same horizontal line: swapping would invert the via
 			// order (range constraint).
 			return 0, nil, false
@@ -263,11 +198,20 @@ func (s *state) Propose(rng *rand.Rand) (float64, func(), bool) {
 	return after - before, func() { s.apply(side, i, j) }, true
 }
 
+// apply mutates the state by swapping the adjacent slots i and j (1-based,
+// |i−j| = 1) and updating every incremental cache.
 func (s *state) apply(side bga.Side, i, j int) {
+	lo := i
+	if j < i {
+		lo = j
+	}
+	slots := s.a.Slots[side]
+	sd := &s.sections[side]
+	sd.commitSwap(sd.priceSwap(slots[lo-1], slots[lo]))
+	s.idCache[side] = sd.worst()
 	s.a.Swap(side, i, j)
 	sup := s.isSupply[side]
 	sup[i-1], sup[j-1] = sup[j-1], sup[i-1]
-	s.idCache[side] = s.sections[side].id(s.a.Slots[side])
 	s.trk.apply(side, i, j, sup)
 }
 
@@ -289,19 +233,8 @@ func (s *state) pickSlot(rng *rand.Rand) (bga.Side, int, bool) {
 	return 0, 0, false
 }
 
-// Run executes the finger/pad exchange on a copy of the initial assignment.
-func Run(p *core.Problem, initial *core.Assignment, opt Options) (*Result, error) {
-	return RunContext(context.Background(), p, initial, opt)
-}
-
-// RunContext is Run with cancellation: when ctx expires mid-anneal the
-// exchange stops, evaluates whatever order the annealer had reached and
-// returns it as a normal Result with Interrupted set — never an error. An
-// uncancelled run is identical to Run for the same seed.
-func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, opt Options) (*Result, error) {
-	if err := core.CheckMonotonic(p, initial); err != nil {
-		return nil, fmt.Errorf("exchange: initial assignment: %v", err)
-	}
+// withDefaults resolves the zero-value option defaults for a problem.
+func (opt Options) withDefaults(p *core.Problem) Options {
 	if opt.Lambda == 0 {
 		opt.Lambda = 1
 	}
@@ -320,15 +253,32 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 	if (opt.Bond == stack.BondSpec{}) {
 		opt.Bond = stack.DefaultBondSpec(p)
 	}
-	sched := opt.Schedule
-	if sched.MovesPerTemp == 0 {
+	if opt.Schedule.MovesPerTemp == 0 {
 		// Scale the plateau length with the ring size so larger
 		// circuits search proportionally.
-		sched.MovesPerTemp = 4 * p.Circuit.NumNets()
+		opt.Schedule.MovesPerTemp = 4 * p.Circuit.NumNets()
 	}
-	if sched.StallPlateaus == 0 {
-		sched.StallPlateaus = 25
+	if opt.Schedule.StallPlateaus == 0 {
+		opt.Schedule.StallPlateaus = 25
 	}
+	return opt
+}
+
+// Run executes the finger/pad exchange on a copy of the initial assignment.
+func Run(p *core.Problem, initial *core.Assignment, opt Options) (*Result, error) {
+	return RunContext(context.Background(), p, initial, opt)
+}
+
+// RunContext is Run with cancellation: when ctx expires mid-anneal the
+// exchange stops, evaluates whatever order the annealer had reached and
+// returns it as a normal Result with Interrupted set — never an error. An
+// uncancelled run is identical to Run for the same seed.
+func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, opt Options) (*Result, error) {
+	if err := core.CheckMonotonic(p, initial); err != nil {
+		return nil, fmt.Errorf("exchange: initial assignment: %v", err)
+	}
+	opt = opt.withDefaults(p)
+	sched := opt.Schedule
 
 	restarts := opt.Restarts
 	if restarts < 1 {

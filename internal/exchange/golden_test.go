@@ -1,0 +1,135 @@
+package exchange
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"copack/internal/anneal"
+	"copack/internal/assign"
+	"copack/internal/bga"
+	"copack/internal/gen"
+)
+
+// TestGoldenResults pins the exchange output bit for bit. The expected
+// values were captured from the pre-optimization code (commit 37b2514,
+// legacy apply/undo proposals with from-scratch Eq 2 recomputation); the
+// O(1) priced path must reproduce the final assignment, every Stats
+// counter, both cost floats and all RestartCosts exactly — same bits, not
+// just close — at any worker count. Any divergence means the incremental
+// caches or the rng stream drifted from the legacy semantics.
+func TestGoldenResults(t *testing.T) {
+	quick := anneal.Schedule{InitialTemp: 0.5, FinalTemp: 1e-3, Cooling: 0.85, MovesPerTemp: 200}
+	cases := []struct {
+		name     string
+		circuit  int
+		genSeed  int64
+		tiers    int
+		opt      Options
+		wantHash uint64
+		want     anneal.Stats
+		restart  int
+		costs    []uint64 // math.Float64bits of RestartCosts
+	}{
+		{"c0_t1_quick", 0, 4, 1, Options{Seed: 9, Schedule: quick},
+			0x5225c8c71e9be9d5,
+			anneal.Stats{Plateaus: 39, Proposed: 6050, Infeasible: 1750, Accepted: 3687, Uphill: 1365,
+				FinalCost: math.Float64frombits(0x3ffc9b81d574a166), BestCost: math.Float64frombits(0x3ff0000000000000)},
+			0, []uint64{0x3ffc9b81d574a160}},
+		{"c0_t4_quick", 0, 4, 4, Options{Seed: 5, Schedule: quick},
+			0xd3f8873e9624f24f,
+			anneal.Stats{Plateaus: 39, Proposed: 6321, Infeasible: 1479, Accepted: 3223, Uphill: 445,
+				FinalCost: math.Float64frombits(0x400c74c15e2dd917), BestCost: math.Float64frombits(0x3ff6666666666666)},
+			0, []uint64{0x400c74c15e2dd916}},
+		{"c1_t1_full", 1, 3, 1, Options{Seed: 9},
+			0x6e32160134a52817,
+			anneal.Stats{Plateaus: 111, Proposed: 57837, Infeasible: 13203, Accepted: 32020, Uphill: 11923,
+				FinalCost: math.Float64frombits(0x3ffbd4eb49bc1097), BestCost: math.Float64frombits(0x3ff0000000000000)},
+			0, []uint64{0x3ffbd4eb49bc1094}},
+		{"c1_t1_restarts", 1, 3, 1, Options{Seed: 9, Restarts: 3},
+			0x6e32160134a52817,
+			anneal.Stats{Plateaus: 111, Proposed: 57837, Infeasible: 13203, Accepted: 32020, Uphill: 11923,
+				FinalCost: math.Float64frombits(0x3ffbd4eb49bc1097), BestCost: math.Float64frombits(0x3ff0000000000000)},
+			0, []uint64{0x3ffbd4eb49bc1094, 0x4005a4de0848e7fa, 0x3ffbd4eb49bc1094}},
+		{"c2_t4_full", 2, 1, 4, Options{Seed: 1},
+			0xeacd4b87b1cf95f5,
+			anneal.Stats{Plateaus: 111, Proposed: 72513, Infeasible: 19839, Accepted: 55520, Uphill: 8346,
+				FinalCost: math.Float64frombits(0x40258349c6578b02), BestCost: math.Float64frombits(0x3ff6666666666666)},
+			0, []uint64{0x40258349c6578b01}},
+		{"c2_t4_restarts4", 2, 1, 4, Options{Seed: 1, Restarts: 4},
+			0xd27d0fe2ac4a8825,
+			anneal.Stats{Plateaus: 111, Proposed: 73116, Infeasible: 19236, Accepted: 57471, Uphill: 8214,
+				FinalCost: math.Float64frombits(0x402579f83ce4dfae), BestCost: math.Float64frombits(0x3ff6666666666666)},
+			3, []uint64{0x40258349c6578b01, 0x4025862a78ea56fe, 0x40257cc95e510a99, 0x402579f83ce4dfa5}},
+		{"c2_t4_topline", 2, 1, 4, Options{Seed: 1, TopLineOnly: true},
+			0x856f4223369bc149,
+			anneal.Stats{Plateaus: 111, Proposed: 71235, Infeasible: 21117, Accepted: 55737, Uphill: 8005,
+				FinalCost: math.Float64frombits(0x402078360ea3704b), BestCost: math.Float64frombits(0x3ff64c64c64c64c6)},
+			0, []uint64{0x402078360ea3704c}},
+		{"c0_t1_norange", 0, 4, 1, Options{Seed: 1, Schedule: quick, DisableRangeConstraint: true},
+			0x47d4f07c68f9a9c5,
+			anneal.Stats{Plateaus: 39, Proposed: 7615, Infeasible: 185, Accepted: 5400, Uphill: 1902,
+				FinalCost: math.Float64frombits(0x40057a7fa21bdfbf), BestCost: math.Float64frombits(0x3ff0000000000000)},
+			0, []uint64{0x40057a7fa21bdfba}},
+		{"c3_t2_weights", 3, 5, 2, Options{Seed: 7, Schedule: quick, Lambda: 2, Rho: 0.5, Phi: 1.1},
+			0xa1cdb5d7adc9de03,
+			anneal.Stats{Plateaus: 39, Proposed: 6309, Infeasible: 1491, Accepted: 5365, Uphill: 858,
+				FinalCost: math.Float64frombits(0x401206c56b17015c), BestCost: math.Float64frombits(0x4008cccccccccccd)},
+			0, []uint64{0x401206c56b17015b}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := gen.MustBuild(gen.Table1()[tc.circuit], gen.Options{Seed: tc.genSeed, Tiers: tc.tiers})
+			a, err := assign.DFA(p, assign.DFAOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				opt := tc.opt
+				opt.Workers = workers
+				res, err := Run(p, a, opt)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				h := fnv.New64a()
+				for _, side := range bga.Sides() {
+					for _, id := range res.Assignment.Slots[side] {
+						fmt.Fprintf(h, "%d,", id)
+					}
+					fmt.Fprint(h, ";")
+				}
+				if got := h.Sum64(); got != tc.wantHash {
+					t.Errorf("workers=%d: assignment hash = %#016x, want %#016x", workers, got, tc.wantHash)
+				}
+				s := res.Stats
+				if s.Plateaus != tc.want.Plateaus || s.Proposed != tc.want.Proposed ||
+					s.Infeasible != tc.want.Infeasible || s.Accepted != tc.want.Accepted ||
+					s.Uphill != tc.want.Uphill {
+					t.Errorf("workers=%d: stats = %+v, want %+v", workers, s, tc.want)
+				}
+				if math.Float64bits(s.FinalCost) != math.Float64bits(tc.want.FinalCost) {
+					t.Errorf("workers=%d: FinalCost = %#016x, want %#016x",
+						workers, math.Float64bits(s.FinalCost), math.Float64bits(tc.want.FinalCost))
+				}
+				if math.Float64bits(s.BestCost) != math.Float64bits(tc.want.BestCost) {
+					t.Errorf("workers=%d: BestCost = %#016x, want %#016x",
+						workers, math.Float64bits(s.BestCost), math.Float64bits(tc.want.BestCost))
+				}
+				if res.Restart != tc.restart {
+					t.Errorf("workers=%d: Restart = %d, want %d", workers, res.Restart, tc.restart)
+				}
+				if len(res.RestartCosts) != len(tc.costs) {
+					t.Fatalf("workers=%d: %d restart costs, want %d", workers, len(res.RestartCosts), len(tc.costs))
+				}
+				for k, rc := range res.RestartCosts {
+					if math.Float64bits(rc) != tc.costs[k] {
+						t.Errorf("workers=%d: RestartCosts[%d] = %#016x, want %#016x",
+							workers, k, math.Float64bits(rc), tc.costs[k])
+					}
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,15 @@ import (
 // among supply pads cannot change) and touches at most two ω groups, so
 // each is an O(1) update. Floating-point drift from the proxy deltas is
 // bounded by resyncing the cache from scratch every resyncInterval applies.
+//
+// Two access paths share the caches. The legacy path (apply/moveSupply)
+// mutates on every proposal and undoes rejections by applying the swap
+// again. The priced path (priceSupplyMove + commitSupply/rejectSupply)
+// evaluates a proposal without mutating and only commits on acceptance —
+// but it reproduces the legacy path's floating-point history bit for bit,
+// including the add-then-subtract rounding a rejected apply/undo pair
+// leaves in the proxy cache and the periodic resyncs (which clear it), so
+// a run is byte-identical whichever path the annealer uses.
 
 const resyncInterval = 4096
 
@@ -31,10 +40,14 @@ type tracker struct {
 	tGlobal []float64
 
 	// Supply bookkeeping: sorted global indices of watched pads and the
-	// rank of each.
+	// rank of each (rankOf[g] is -1 for non-supply slots; a dense slice,
+	// since global indices are dense by construction).
 	supplyIdx []int
-	rankOf    map[int]int
+	rankOf    []int
 	proxy     float64
+	// tsBuf is the reusable scratch for from-scratch proxy recomputes,
+	// so a resync inside the hot loop allocates nothing.
+	tsBuf []float64
 
 	// Tier bookkeeping (stacking only; psi <= 1 disables it).
 	psi    int
@@ -47,7 +60,7 @@ type tracker struct {
 
 // newTracker builds the caches from the current assignment.
 func newTracker(p *core.Problem, a *core.Assignment, isSupply *[bga.NumSides][]bool) *tracker {
-	tr := &tracker{psi: p.Tiers, rankOf: make(map[int]int)}
+	tr := &tracker{psi: p.Tiers}
 	g := 0
 	for _, side := range bga.Sides() {
 		slots := a.Slots[side]
@@ -66,9 +79,14 @@ func newTracker(p *core.Problem, a *core.Assignment, isSupply *[bga.NumSides][]b
 			g++
 		}
 	}
+	tr.rankOf = make([]int, g)
+	for i := range tr.rankOf {
+		tr.rankOf[i] = -1
+	}
 	for r, gi := range tr.supplyIdx {
 		tr.rankOf[gi] = r
 	}
+	tr.tsBuf = make([]float64, 0, len(tr.supplyIdx))
 	tr.resyncProxy()
 	if tr.psi > 1 {
 		tr.groups = (len(tr.tiers) + tr.psi - 1) / tr.psi
@@ -79,13 +97,26 @@ func newTracker(p *core.Problem, a *core.Assignment, isSupply *[bga.NumSides][]b
 
 // resyncProxy recomputes the cached proxy from scratch.
 func (tr *tracker) resyncProxy() {
-	ts := make([]float64, len(tr.supplyIdx))
+	tr.proxy = tr.resyncCost(-1, 0)
+}
+
+// resyncCost computes the from-scratch proxy into the reusable scratch
+// buffer, reading rank r's pad (when r >= 0) as if it sat at global index
+// g instead — which is how the priced path resyncs at a hypothetical
+// post-move position without mutating supplyIdx.
+func (tr *tracker) resyncCost(r, g int) float64 {
+	ts := tr.tsBuf[:0]
 	for i, gi := range tr.supplyIdx {
-		ts[i] = tr.tGlobal[gi]
+		if i == r {
+			gi = g
+		}
+		ts = append(ts, tr.tGlobal[gi])
 	}
-	// supplyIdx is sorted by global index, and tGlobal is increasing in
-	// global index, so ts is already sorted.
-	tr.proxy = power.ProxyCost(ts)
+	tr.tsBuf = ts
+	// supplyIdx is sorted by global index, an adjacent move cannot cross
+	// another supply pad, and tGlobal is increasing in global index, so
+	// ts is already sorted.
+	return power.ProxyCost(ts)
 }
 
 // circGap returns the circular distance from a to b going forward.
@@ -98,10 +129,10 @@ func circGap(a, b float64) float64 {
 }
 
 // moveSupply updates the proxy for a supply pad moving from global index
-// gi to the adjacent global index gj.
+// gi to the adjacent global index gj (the legacy mutating path).
 func (tr *tracker) moveSupply(gi, gj int) {
-	r, ok := tr.rankOf[gi]
-	if !ok {
+	r := tr.rankOf[gi]
+	if r < 0 {
 		return
 	}
 	n := len(tr.supplyIdx)
@@ -109,7 +140,7 @@ func (tr *tracker) moveSupply(gi, gj int) {
 		// A single pad's cost is one full-circle gap regardless of
 		// position.
 		tr.supplyIdx[0] = gj
-		delete(tr.rankOf, gi)
+		tr.rankOf[gi] = -1
 		tr.rankOf[gj] = 0
 		return
 	}
@@ -121,7 +152,7 @@ func (tr *tracker) moveSupply(gi, gj int) {
 	newCost := sq(circGap(tPrev, tNew)) + sq(circGap(tNew, tNext))
 	tr.proxy += newCost - oldCost
 	tr.supplyIdx[r] = gj
-	delete(tr.rankOf, gi)
+	tr.rankOf[gi] = -1
 	tr.rankOf[gj] = r
 
 	tr.applies++
@@ -131,6 +162,85 @@ func (tr *tracker) moveSupply(gi, gj int) {
 }
 
 func sq(v float64) float64 { return v * v }
+
+// supplyPend is a priced supply-pad move. proxyAccept/appliesAccept are
+// the cache values after committing the move; proxyReject/appliesReject
+// after rejecting it. The reject values are not simply "unchanged": the
+// legacy path undoes a rejection with a second apply, whose add-then-
+// subtract leaves (proxy + d) − d rounding in the cache and advances the
+// resync counter by two — reproducing that exactly is what keeps priced
+// runs byte-identical to legacy runs.
+type supplyPend struct {
+	moved       bool
+	gFrom, gTo  int
+	rank        int
+	proxyAccept float64
+	proxyReject float64
+	appliesAcc  int
+	appliesRej  int
+}
+
+// priceSupplyMove prices the supply pad at global index gFrom moving to
+// the adjacent index gTo without mutating anything. O(1) except on a
+// resync boundary, where it recomputes from scratch exactly as the legacy
+// path would (amortized O(1), allocation-free either way).
+func (tr *tracker) priceSupplyMove(gFrom, gTo int) supplyPend {
+	r := tr.rankOf[gFrom]
+	if r < 0 {
+		return supplyPend{}
+	}
+	n := len(tr.supplyIdx)
+	if n == 1 {
+		// The legacy single-pad branch moves the position without
+		// touching proxy or the resync counter.
+		return supplyPend{moved: true, gFrom: gFrom, gTo: gTo, rank: 0,
+			proxyAccept: tr.proxy, proxyReject: tr.proxy,
+			appliesAcc: tr.applies, appliesRej: tr.applies}
+	}
+	prev := tr.supplyIdx[(r-1+n)%n]
+	next := tr.supplyIdx[(r+1)%n]
+	tOld, tNew := tr.tGlobal[gFrom], tr.tGlobal[gTo]
+	tPrev, tNext := tr.tGlobal[prev], tr.tGlobal[next]
+	oldCost := sq(circGap(tPrev, tOld)) + sq(circGap(tOld, tNext))
+	newCost := sq(circGap(tPrev, tNew)) + sq(circGap(tNew, tNext))
+	pa := tr.proxy + (newCost - oldCost)
+	aa := tr.applies + 1
+	if aa%resyncInterval == 0 {
+		pa = tr.resyncCost(r, gTo)
+	}
+	// The legacy undo recomputes the two gap costs at the swapped
+	// position; those expressions are bit-identical to newCost/oldCost
+	// above, so the undo delta is exactly (oldCost − newCost).
+	pr := pa + (oldCost - newCost)
+	ar := aa + 1
+	if ar%resyncInterval == 0 {
+		pr = tr.resyncCost(-1, 0)
+	}
+	return supplyPend{moved: true, gFrom: gFrom, gTo: gTo, rank: r,
+		proxyAccept: pa, proxyReject: pr, appliesAcc: aa, appliesRej: ar}
+}
+
+// commitSupply applies a priced supply move to the caches.
+func (tr *tracker) commitSupply(sp supplyPend) {
+	if !sp.moved {
+		return
+	}
+	tr.supplyIdx[sp.rank] = sp.gTo
+	tr.rankOf[sp.gFrom] = -1
+	tr.rankOf[sp.gTo] = sp.rank
+	tr.proxy = sp.proxyAccept
+	tr.applies = sp.appliesAcc
+}
+
+// rejectSupply absorbs the rounding and resync-counter advance a legacy
+// apply/undo pair would have produced, leaving positions untouched.
+func (tr *tracker) rejectSupply(sp supplyPend) {
+	if !sp.moved {
+		return
+	}
+	tr.proxy = sp.proxyReject
+	tr.applies = sp.appliesRej
+}
 
 // groupOmega computes the zero-bit count of one ω group.
 func (tr *tracker) groupOmega(group int) int {
@@ -147,7 +257,30 @@ func (tr *tracker) groupOmega(group int) int {
 	return bits.OnesCount64(full &^ union)
 }
 
-// swapTiers updates ω for a swap of the adjacent global indices gi, gj.
+// groupOmegaSwapped is groupOmega with the tiers at global indices gi and
+// gj read as if they were exchanged — the priced, mutation-free variant.
+func (tr *tracker) groupOmegaSwapped(group, gi, gj int) int {
+	full := uint64(1)<<tr.psi - 1
+	var union uint64
+	start := group * tr.psi
+	end := start + tr.psi
+	if end > len(tr.tiers) {
+		end = len(tr.tiers)
+	}
+	for x := start; x < end; x++ {
+		d := tr.tiers[x]
+		if x == gi {
+			d = tr.tiers[gj]
+		} else if x == gj {
+			d = tr.tiers[gi]
+		}
+		union |= 1 << (d - 1)
+	}
+	return bits.OnesCount64(full &^ union)
+}
+
+// swapTiers updates ω for a swap of the adjacent global indices gi, gj
+// (the legacy mutating path).
 func (tr *tracker) swapTiers(gi, gj int) {
 	if tr.psi <= 1 {
 		return
@@ -165,8 +298,34 @@ func (tr *tracker) swapTiers(gi, gj int) {
 	tr.omega += after - before
 }
 
+// priceTierSwap returns the ω value after swapping the adjacent global
+// indices gi, gj, without mutating. A within-group swap cannot change a
+// group's tier union, so only boundary swaps do any work.
+func (tr *tracker) priceTierSwap(gi, gj int) int {
+	if tr.psi <= 1 {
+		return tr.omega
+	}
+	ga, gb := gi/tr.psi, gj/tr.psi
+	if ga == gb {
+		return tr.omega
+	}
+	before := tr.groupOmega(ga) + tr.groupOmega(gb)
+	after := tr.groupOmegaSwapped(ga, gi, gj) + tr.groupOmegaSwapped(gb, gi, gj)
+	return tr.omega + (after - before)
+}
+
+// commitTierSwap applies a priced tier swap.
+func (tr *tracker) commitTierSwap(gi, gj, omega int) {
+	if tr.psi <= 1 {
+		return
+	}
+	tr.tiers[gi], tr.tiers[gj] = tr.tiers[gj], tr.tiers[gi]
+	tr.omega = omega
+}
+
 // apply updates the caches for the swap of slots i and j (1-based) on a
-// side, given the supply flags *after* the state swap was applied.
+// side, given the supply flags *after* the state swap was applied (the
+// legacy mutating path; the annealer's fast path prices then commits).
 func (tr *tracker) apply(side bga.Side, i, j int, isSupply []bool) {
 	gi, gj := tr.globalOf[side][i-1], tr.globalOf[side][j-1]
 	// After the swap, isSupply[i-1] holds what was at j and vice versa.
