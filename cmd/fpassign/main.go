@@ -35,6 +35,7 @@ func main() {
 		svgPath      = flag.String("svg", "", "write the routing plot to this SVG file")
 		irPath       = flag.String("irmap", "", "write the IR-drop heat map to this SVG file")
 		timeout      = flag.Duration("timeout", 0, "planning time budget (e.g. 30s); on expiry the best-so-far plan is reported (0 = none)")
+		metricsPath  = flag.String("metrics", "", "write the run's telemetry snapshot (counters, gauges, phase timings) to this JSON file")
 	)
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 		circuit: *circuit, in: *in, out: *out, fingers: *fingers, ballSpace: *ballSpace,
 		alg: *alg, tiers: *tiers, seed: *seed, skipExchange: *skipExchange,
 		improveVias: *improveVias, runDRC: *runDRC, svgPath: *svgPath, irPath: *irPath,
-		timeout: *timeout,
+		timeout: *timeout, metricsPath: *metricsPath,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fpassign:", err)
@@ -63,6 +64,7 @@ type config struct {
 	runDRC          bool
 	svgPath, irPath string
 	timeout         time.Duration
+	metricsPath     string
 }
 
 func run(cfg config) error {
@@ -102,12 +104,20 @@ func run(cfg config) error {
 			return err
 		}
 	}
-	res, err := copack.PlanContext(context.Background(), p, copack.Options{
+	planOpt := copack.Options{
 		Algorithm:    algorithm,
 		SkipExchange: skipExchange,
 		Seed:         seed,
 		Budget:       cfg.timeout,
-	})
+	}
+	var collector *copack.MetricsCollector
+	if cfg.metricsPath != "" {
+		// Only set Recorder when asked: a nil interface keeps the whole
+		// pipeline on the no-op path.
+		collector = copack.NewMetricsCollector()
+		planOpt.Recorder = collector
+	}
+	res, err := copack.PlanContext(context.Background(), p, planOpt)
 	if err != nil {
 		return err
 	}
@@ -204,6 +214,17 @@ func run(cfg config) error {
 			return err
 		}
 		fmt.Printf("IR heat map   : %s\n", irPath)
+	}
+	if collector != nil {
+		snap := collector.Snapshot()
+		data, err := snap.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.metricsPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("metrics       : %s (%d keys)\n", cfg.metricsPath, len(snap.Keys()))
 	}
 	return nil
 }

@@ -12,7 +12,15 @@ import (
 	"copack/internal/exchange"
 	"copack/internal/exp"
 	"copack/internal/gen"
+	"copack/internal/obs"
 	"copack/internal/power"
+)
+
+// Bench sizing knobs. Package variables rather than constants so the tests
+// can shrink the run to seconds while exercising the full code path.
+var (
+	benchWorkerCounts = []int{1, 2, 4, 8}
+	benchPricingMoves = 2_000_000
 )
 
 // benchEntry is one timed (surface, workers) measurement. NsPerMove and
@@ -37,6 +45,13 @@ type benchReport struct {
 	CPUs       int          `json:"cpus"`
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Entries    []benchEntry `json:"entries"`
+	// SolverInternals holds the obs telemetry snapshot of each surface's
+	// workers=1 run (solver iterations, residuals, per-restart anneal
+	// counters, ...), keyed by surface name. Only surfaces that accept a
+	// Recorder appear. The snapshots are deterministic, so two runs of the
+	// same binary produce identical SolverInternals even though the timing
+	// entries differ.
+	SolverInternals map[string]*obs.Snapshot `json:"solver_internals,omitempty"`
 }
 
 // runBench times the three parallelized surfaces — multi-start exchange,
@@ -47,12 +62,13 @@ type benchReport struct {
 // tag, so a rerun can sit beside a same-day baseline).
 func runBench(outDir string, jsonOut bool, tag string) error {
 	rep := &benchReport{
-		Date:       time.Now().Format("2006-01-02"),
-		GoVersion:  runtime.Version(),
-		CPUs:       runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Date:            time.Now().Format("2006-01-02"),
+		GoVersion:       runtime.Version(),
+		CPUs:            runtime.NumCPU(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		SolverInternals: map[string]*obs.Snapshot{},
 	}
-	workerCounts := []int{1, 2, 4, 8}
+	workerCounts := benchWorkerCounts
 
 	p := gen.MustBuild(gen.Table1()[2], gen.Options{Seed: 1, Tiers: 4})
 	dfaA, err := assign.DFA(p, assign.DFAOptions{})
@@ -68,19 +84,22 @@ func runBench(outDir string, jsonOut bool, tag string) error {
 		pads = append(pads, power.Pad{I: i, J: 0}, power.Pad{I: i, J: g.Ny - 1})
 	}
 
+	// Each surface optionally takes a Recorder; runBench attaches one on
+	// the workers=1 pass and merges the snapshot into the report. rec is
+	// nil on the other passes, which the obs layer treats as "off".
 	surfaces := []struct {
 		name string
-		run  func(workers int) error
+		run  func(workers int, rec obs.Recorder) error
 	}{
-		{"exchange/restarts4", func(w int) error {
-			_, err := exchange.Run(p, dfaA, exchange.Options{Seed: 1, Restarts: 4, Workers: w})
+		{"exchange/restarts4", func(w int, rec obs.Recorder) error {
+			_, err := exchange.Run(p, dfaA, exchange.Options{Seed: 1, Restarts: 4, Workers: w, Recorder: rec})
 			return err
 		}},
-		{"power/solve96x96", func(w int) error {
-			_, err := power.Solve(g, pads, power.SolveOptions{Workers: w})
+		{"power/solve96x96", func(w int, rec obs.Recorder) error {
+			_, err := power.Solve(g, pads, power.SolveOptions{Workers: w, Recorder: rec})
 			return err
 		}},
-		{"exp/table2", func(w int) error {
+		{"exp/table2", func(w int, rec obs.Recorder) error {
 			_, err := exp.Table2With(1, 10, exp.Harness{Workers: w})
 			return err
 		}},
@@ -91,13 +110,22 @@ func runBench(outDir string, jsonOut bool, tag string) error {
 	for _, s := range surfaces {
 		var base float64
 		for _, w := range workerCounts {
+			var col *obs.Collector
+			var rec obs.Recorder
+			if w == 1 {
+				col = obs.NewCollector()
+				rec = col
+			}
 			start := time.Now()
-			if err := s.run(w); err != nil {
+			if err := s.run(w, rec); err != nil {
 				return fmt.Errorf("%s workers=%d: %v", s.name, w, err)
 			}
 			secs := time.Since(start).Seconds()
 			if w == 1 {
 				base = secs
+				if snap := col.Snapshot(); len(snap.Keys()) > 0 {
+					rep.SolverInternals[s.name] = &snap
+				}
 			}
 			e := benchEntry{Name: s.name, Workers: w, Seconds: secs}
 			if base > 0 {
@@ -110,7 +138,7 @@ func runBench(outDir string, jsonOut bool, tag string) error {
 
 	// Hot-loop rate: how fast the annealer can price adjacent swaps, and
 	// that doing so allocates nothing.
-	const pricingMoves = 2_000_000
+	pricingMoves := benchPricingMoves
 	start := time.Now()
 	ps, err := exchange.PricingBench(p, dfaA, exchange.Options{Seed: 1}, pricingMoves)
 	if err != nil {

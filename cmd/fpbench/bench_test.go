@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// shrinkBench makes runBench finish in test time: one worker count and a
+// short pricing loop. The code path is identical to the real bench.
+func shrinkBench(t *testing.T) {
+	t.Helper()
+	oldW, oldM := benchWorkerCounts, benchPricingMoves
+	benchWorkerCounts = []int{1, 2}
+	benchPricingMoves = 20_000
+	t.Cleanup(func() { benchWorkerCounts, benchPricingMoves = oldW, oldM })
+}
+
+func TestBenchJSONSchemaRoundTrip(t *testing.T) {
+	shrinkBench(t)
+	dir := t.TempDir()
+	var code int
+	out := captureStdout(t, func() {
+		code = realMain([]string{"-bench", "-json", "-benchtag", "unittest", "-out", dir})
+	})
+	if code != 0 {
+		t.Fatalf("realMain(-bench -json) = %d, want 0", code)
+	}
+	if !strings.Contains(out, "Parallel speedup") {
+		t.Errorf("bench output missing header:\n%s", out)
+	}
+
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*-unittest.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected exactly one tagged BENCH json, got %v (err %v)", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH json does not round-trip into benchReport: %v", err)
+	}
+	// 3 surfaces x len(workerCounts) + the move-pricing entry.
+	wantEntries := 3*len(benchWorkerCounts) + 1
+	if len(rep.Entries) != wantEntries {
+		t.Errorf("%d entries, want %d", len(rep.Entries), wantEntries)
+	}
+	var pricing *benchEntry
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
+		if e.Seconds < 0 {
+			t.Errorf("entry %s workers=%d has negative Seconds", e.Name, e.Workers)
+		}
+		if e.Name == "exchange/move-pricing" {
+			pricing = e
+		}
+	}
+	if pricing == nil {
+		t.Fatal("no exchange/move-pricing entry")
+	}
+	if pricing.AllocsPerMove == nil {
+		t.Error("pricing entry omitted allocs_per_move; the 0-alloc invariant must be explicit")
+	} else if *pricing.AllocsPerMove != 0 && !raceEnabled {
+		// The race detector's instrumentation allocates, so the strict
+		// zero only holds on uninstrumented builds (same carve-out as
+		// TestPricedMoveZeroAllocs).
+		t.Errorf("allocs_per_move = %v, want 0", *pricing.AllocsPerMove)
+	}
+	if pricing.NsPerMove <= 0 {
+		t.Errorf("ns_per_move = %v, want > 0", pricing.NsPerMove)
+	}
+
+	// The workers=1 runs carry their telemetry into solver_internals.
+	for _, name := range []string{"exchange/restarts4", "power/solve96x96"} {
+		snap := rep.SolverInternals[name]
+		if snap == nil {
+			t.Errorf("solver_internals missing %q", name)
+			continue
+		}
+		if len(snap.Keys()) == 0 {
+			t.Errorf("solver_internals[%q] is empty", name)
+		}
+	}
+	if snap := rep.SolverInternals["exchange/restarts4"]; snap != nil {
+		if snap.Counters["exchange/restart0/moves_priced"] == 0 {
+			t.Error("exchange internals missing per-restart move counters")
+		}
+	}
+	if snap := rep.SolverInternals["power/solve96x96"]; snap != nil {
+		if snap.Counters["iterations"] == 0 {
+			t.Error("power internals missing iteration counter")
+		}
+	}
+
+	// Re-marshaling the decoded report must reproduce the file byte for
+	// byte: nothing in the schema is lossy.
+	again, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(again, '\n'), data) {
+		t.Error("BENCH json is not a lossless round-trip through benchReport")
+	}
+}
+
+func TestBenchUnwritableOut(t *testing.T) {
+	shrinkBench(t)
+	bad := filepath.Join(t.TempDir(), "no-such-dir")
+	if got := realMain([]string{"-bench", "-json", "-out", bad}); got != 1 {
+		t.Errorf("realMain(-bench -json -out <unwritable>) = %d, want 1", got)
+	}
+}

@@ -29,28 +29,34 @@ import (
 // main defers to realMain so that deferred profile writers run before the
 // process exits (os.Exit would skip them).
 func main() {
-	os.Exit(realMain())
+	os.Exit(realMain(os.Args[1:]))
 }
 
-func realMain() int {
+// realMain parses args on a private FlagSet and runs the selected
+// experiments; taking the argument slice (rather than reading os.Args via
+// the global flag state) keeps the whole CLI callable from tests.
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("fpbench", flag.ContinueOnError)
 	var (
-		table    = flag.Int("table", 0, "regenerate a table (1, 2 or 3)")
-		fig      = flag.Int("fig", 0, "regenerate a figure (5, 6, 13 or 15)")
-		all      = flag.Bool("all", false, "regenerate everything")
-		seed     = flag.Int64("seed", 1, "random seed")
-		out      = flag.String("out", ".", "directory for SVG artifacts")
-		quick    = flag.Bool("quick", false, "faster, lower-fidelity Fig 6")
-		sweep    = flag.Int("sweep", 0, "re-run Table 2 over this many seeds and report ratio distributions")
-		sweep3   = flag.Int("sweep3", 0, "re-run Table 3 over this many seeds and report improvement distributions")
-		flipchip = flag.Bool("flipchip", false, "compare wire-bond vs flip-chip IR-drop (the paper's §2.4 motivation)")
-		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for tables, sweeps and -bench (results are identical for any value)")
-		bench    = flag.Bool("bench", false, "time the parallel surfaces at 1/2/4/8 workers")
-		jsonOut  = flag.Bool("json", false, "with -bench: also write BENCH_<date>.json to -out")
-		benchTag = flag.String("benchtag", "", "with -bench -json: suffix the output file BENCH_<date>-<tag>.json")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
+		table    = fs.Int("table", 0, "regenerate a table (1, 2 or 3)")
+		fig      = fs.Int("fig", 0, "regenerate a figure (5, 6, 13 or 15)")
+		all      = fs.Bool("all", false, "regenerate everything")
+		seed     = fs.Int64("seed", 1, "random seed")
+		out      = fs.String("out", ".", "directory for SVG artifacts")
+		quick    = fs.Bool("quick", false, "faster, lower-fidelity Fig 6")
+		sweep    = fs.Int("sweep", 0, "re-run Table 2 over this many seeds and report ratio distributions")
+		sweep3   = fs.Int("sweep3", 0, "re-run Table 3 over this many seeds and report improvement distributions")
+		flipchip = fs.Bool("flipchip", false, "compare wire-bond vs flip-chip IR-drop (the paper's §2.4 motivation)")
+		workers  = fs.Int("workers", runtime.NumCPU(), "worker pool size for tables, sweeps and -bench (results are identical for any value)")
+		bench    = fs.Bool("bench", false, "time the parallel surfaces at 1/2/4/8 workers")
+		jsonOut  = fs.Bool("json", false, "with -bench: also write BENCH_<date>.json to -out")
+		benchTag = fs.String("benchtag", "", "with -bench -json: suffix the output file BENCH_<date>-<tag>.json")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -236,7 +242,7 @@ func realMain() int {
 		run("bench", func() error { return runBench(*out, *jsonOut, *benchTag) })
 	}
 	if !any {
-		flag.Usage()
+		fs.Usage()
 		return 2
 	}
 	if failed {

@@ -39,6 +39,7 @@ import (
 	"copack/internal/floorplan"
 	"copack/internal/gen"
 	"copack/internal/netlist"
+	"copack/internal/obs"
 	"copack/internal/power"
 	"copack/internal/route"
 	"copack/internal/stack"
@@ -94,6 +95,18 @@ type (
 	Floorplan = floorplan.Floorplan
 	// FloorplanBlock is one placed macro.
 	FloorplanBlock = floorplan.Block
+	// Recorder is the observability sink Plan reports its telemetry to
+	// (see Options.Recorder). Implementations must be safe for concurrent
+	// use and must treat recording as write-only.
+	Recorder = obs.Recorder
+	// NopRecorder is the disabled Recorder: all methods free no-ops.
+	NopRecorder = obs.NopRecorder
+	// MetricsCollector is the standard Recorder: it accumulates every
+	// metric in memory and renders a deterministic Snapshot.
+	MetricsCollector = obs.Collector
+	// MetricsSnapshot is a Collector's state: counters, gauges, timers
+	// and pipeline phase events, JSON-marshalable with stable key order.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Net classes.
@@ -195,7 +208,20 @@ type Options struct {
 	// independent by construction (see DESIGN.md) — only the wall clock.
 	// Explicit Exchange.Workers / Solve.Workers values take precedence.
 	Workers int
+	// Recorder receives the plan's telemetry: phase spans for every
+	// pipeline stage, routing density histograms (route/initial/...,
+	// route/final/...), IR solver internals (power/ir-before/...,
+	// power/ir-after/...) and the exchange/anneal per-restart counters.
+	// Nil disables recording at zero cost. Recording NEVER changes the
+	// result: an instrumented run is bit-identical to an uninstrumented
+	// one (the exchange golden tests and the plan determinism tests
+	// enforce this). Use NewMetricsCollector and write its Snapshot.
+	Recorder Recorder
 }
+
+// NewMetricsCollector returns an empty MetricsCollector ready to be set as
+// Options.Recorder.
+func NewMetricsCollector() *MetricsCollector { return obs.NewCollector() }
 
 // SolveOptions re-exports the IR-drop solver's tuning knobs.
 type SolveOptions = power.SolveOptions
@@ -305,12 +331,19 @@ func PlanContext(ctx context.Context, p *Problem, opt Options) (res *Result, err
 		return nil
 	}
 
+	// rec receives the pipeline's telemetry. Recording happens strictly
+	// after each stage's computation (and the phase spans only read the
+	// clock), so an instrumented run draws the same random streams and
+	// returns bit-identical results to an uninstrumented one.
+	rec := obs.OrNop(opt.Recorder)
+
 	if err := ctx.Err(); err != nil {
 		return nil, err // nothing computed yet: no partial state to return
 	}
 	if err := checkpoint("assign"); err != nil {
 		return nil, err
 	}
+	endAssign := obs.StartPhase(rec, "assign")
 	var initial *Assignment
 	switch opt.Algorithm {
 	case DFA:
@@ -326,9 +359,10 @@ func PlanContext(ctx context.Context, p *Problem, opt Options) (res *Result, err
 		return nil, err
 	}
 	res = &Result{Initial: initial, Assignment: initial}
-	if res.InitialStats, err = route.Evaluate(p, initial); err != nil {
+	if res.InitialStats, err = route.EvaluateObserved(p, initial, obs.WithPrefix(rec, "route/initial/")); err != nil {
 		return nil, err
 	}
+	endAssign()
 	res.FinalStats = res.InitialStats
 
 	grid := opt.Grid
@@ -340,7 +374,12 @@ func PlanContext(ctx context.Context, p *Problem, opt Options) (res *Result, err
 		solveOpt.Workers = opt.Workers
 	}
 	solveDrop := func(a *Assignment, stage string, prev float64) (float64, error) {
-		sol, err := power.SolveAssignmentContext(ctx, p, a, grid, solveOpt)
+		defer obs.StartPhase(rec, stage)()
+		stageOpt := solveOpt
+		if stageOpt.Recorder == nil {
+			stageOpt.Recorder = obs.WithPrefix(rec, "power/"+stage+"/")
+		}
+		sol, err := power.SolveAssignmentContext(ctx, p, a, grid, stageOpt)
 		if err != nil {
 			return 0, err
 		}
@@ -387,6 +426,11 @@ func PlanContext(ctx context.Context, p *Problem, opt Options) (res *Result, err
 	if exOpt.Workers == 0 {
 		exOpt.Workers = opt.Workers
 	}
+	if exOpt.Recorder == nil {
+		// exchange self-namespaces under exchange/ and anneal/.
+		exOpt.Recorder = opt.Recorder
+	}
+	endExchange := obs.StartPhase(rec, "exchange")
 	ex, err := exchange.RunContext(ctx, p, initial, exOpt)
 	if err != nil {
 		return nil, err
@@ -396,9 +440,10 @@ func PlanContext(ctx context.Context, p *Problem, opt Options) (res *Result, err
 	}
 	res.Exchange = ex
 	res.Assignment = ex.Assignment
-	if res.FinalStats, err = route.Evaluate(p, ex.Assignment); err != nil {
+	if res.FinalStats, err = route.EvaluateObserved(p, ex.Assignment, obs.WithPrefix(rec, "route/final/")); err != nil {
 		return nil, err
 	}
+	endExchange()
 	if err := checkpoint("ir-after"); err != nil {
 		return nil, err
 	}

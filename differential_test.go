@@ -1,0 +1,65 @@
+// Differential property test: on randomized small instances the full
+// pipeline can never beat the exhaustive per-quadrant oracle. The oracle
+// (internal/optimal) enumerates every monotonic-legal finger order of a
+// quadrant, so its max density is a true lower bound for any legal
+// assignment — including whatever DFA plus the annealed exchange produce.
+// A pipeline result below the bound means either the router undercounts
+// density or the exchange broke legality; both are silent-corruption bugs
+// that point tests would miss.
+package copack_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"copack"
+	"copack/internal/bga"
+	"copack/internal/optimal"
+)
+
+func TestPipelineNeverBeatsOracle(t *testing.T) {
+	quick := copack.Schedule{InitialTemp: 0.5, FinalTemp: 1e-2, Cooling: 0.8, MovesPerTemp: 60}
+	rng := rand.New(rand.NewSource(20260806))
+	const instances = 6
+	for inst := 0; inst < instances; inst++ {
+		// ≤ 8 nets per side keeps the oracle's enumeration small (the
+		// count is the multinomial of the per-line sizes).
+		fingers := 4 * (3 + rng.Intn(6)) // 12..32 total (multiple of 4), i.e. 3..8 per side
+		seed := rng.Int63n(1 << 30)
+		tiers := 1
+		if inst%3 == 2 {
+			tiers = 4
+		}
+		tc := copack.TestCircuit{
+			Name: "diff", Fingers: fingers,
+			BallSpace: 1.0 + rng.Float64(), FingerW: 0.1, FingerH: 0.2, FingerSpace: 0.12,
+		}
+		p, err := copack.BuildCircuit(tc, copack.BuildOptions{Seed: seed, Tiers: tiers})
+		if err != nil {
+			t.Fatalf("instance %d (fingers=%d seed=%d): build: %v", inst, fingers, seed, err)
+		}
+		res, err := copack.Plan(p, copack.Options{
+			Seed:     seed,
+			Exchange: copack.ExchangeOptions{Schedule: quick},
+		})
+		if err != nil {
+			t.Fatalf("instance %d (fingers=%d seed=%d): plan: %v", inst, fingers, seed, err)
+		}
+		for _, side := range bga.Sides() {
+			ref, err := optimal.Quadrant(p, side, 2_000_000)
+			if err != nil {
+				t.Fatalf("instance %d side %v: oracle: %v", inst, side, err)
+			}
+			got := res.FinalStats.Quadrants[side].MaxDensity
+			if got < ref.MaxDensity {
+				t.Errorf("instance %d (fingers=%d seed=%d tiers=%d) side %v: pipeline density %d beats exhaustive optimum %d — illegal order or density undercount",
+					inst, fingers, seed, tiers, side, got, ref.MaxDensity)
+			}
+			// And the initial congestion-driven step is bound the same way.
+			if got := res.InitialStats.Quadrants[side].MaxDensity; got < ref.MaxDensity {
+				t.Errorf("instance %d side %v: DFA density %d beats exhaustive optimum %d",
+					inst, side, got, ref.MaxDensity)
+			}
+		}
+	}
+}

@@ -118,6 +118,14 @@ type Stats struct {
 	Uphill     int // accepted moves with positive delta
 	FinalCost  float64
 	BestCost   float64
+	// Priced reports which engine path drove the run: true when the
+	// target implements DeltaPricer (price-then-commit fast path), false
+	// for the legacy apply-then-maybe-revert Propose path. Both paths
+	// produce identical results; the flag exists for telemetry.
+	Priced bool
+	// LastTemp is the temperature of the last plateau the run entered
+	// (the schedule's lowest reached point; 0 if no plateau ran).
+	LastTemp float64
 	// Interrupted reports that the run stopped before the schedule cooled
 	// out because the context was cancelled (or a fault was injected).
 	// The target's final state — and FinalCost — are whatever the run had
@@ -162,6 +170,7 @@ func MinimizeContext(ctx context.Context, t Target, initialCost float64, s Sched
 		snapshotter.Snapshot()
 	}
 	pricer, priced := t.(DeltaPricer)
+	stats.Priced = priced
 	interrupt := func(err error) Stats {
 		stats.Interrupted = true
 		stats.Stopped = err.Error()
@@ -177,6 +186,7 @@ func MinimizeContext(ctx context.Context, t Target, initialCost float64, s Sched
 			return interrupt(err), nil
 		}
 		stats.Plateaus++
+		stats.LastTemp = temp
 		acceptedHere := 0
 		for move := 0; move < s.MovesPerTemp; move++ {
 			if move%checkEvery == checkEvery-1 {

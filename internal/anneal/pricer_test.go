@@ -48,6 +48,11 @@ func TestDeltaPricerMatchesPropose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if stL.Priced || !stP.Priced {
+		t.Errorf("Priced flags wrong: legacy %v, priced %v", stL.Priced, stP.Priced)
+	}
+	// The Priced flag is the only permitted divergence between the paths.
+	stP.Priced = stL.Priced
 	if stL != stP {
 		t.Errorf("stats diverge:\nlegacy %+v\npriced %+v", stL, stP)
 	}

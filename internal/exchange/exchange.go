@@ -29,6 +29,7 @@ import (
 	"copack/internal/bga"
 	"copack/internal/core"
 	"copack/internal/netlist"
+	"copack/internal/obs"
 	"copack/internal/power"
 	"copack/internal/route"
 	"copack/internal/stack"
@@ -72,6 +73,13 @@ type Options struct {
 	// result; Workers=1 runs the restarts sequentially on the calling
 	// goroutine.
 	Workers int
+	// Recorder receives the run's telemetry: per-restart move and anneal
+	// counters, tracker resync counts and the Eq 3 term breakdown (see
+	// observe.go for the key schema). Nil disables recording. Recording
+	// is strictly post-anneal and never touches the rng stream, so a
+	// recorded run is bit-identical to an unrecorded one (enforced by the
+	// golden tests).
+	Recorder obs.Recorder
 }
 
 // Metrics captures the quality of an assignment before/after exchanging.
@@ -309,6 +317,7 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 	// incremental caches' floating-point drift) and keep the best; ties
 	// go to the lower restart index so the choice is deterministic.
 	costs := make([]float64, restarts)
+	terms := make([]eq3Breakdown, restarts)
 	win := 0
 	for k, st := range states {
 		st.trk.resyncProxy() // clear bounded drift before comparing costs
@@ -319,7 +328,8 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 			// lose ground.
 			st.a = initial.Clone()
 		}
-		costs[k] = selectionCost(p, st, opt)
+		terms[k] = eq3Terms(p, st, opt)
+		costs[k] = terms[k].Total
 		if costs[k] < costs[win] {
 			win = k
 		}
@@ -344,7 +354,7 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 		after.MaxDensity = rs.MaxDensity
 		after.Wirelength = rs.Wirelength
 	}
-	return &Result{
+	res := &Result{
 		Assignment:   st.a,
 		Before:       before,
 		After:        after,
@@ -353,7 +363,9 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 		Interrupted:  stats[win].Interrupted,
 		Restart:      win,
 		RestartCosts: costs,
-	}, nil
+	}
+	recordRun(opt, sched, states, stats, terms, res)
+	return res, nil
 }
 
 // newState builds one annealing state over a private clone of the initial
@@ -395,21 +407,39 @@ func newState(p *core.Problem, initial *core.Assignment, opt Options) *state {
 	return st
 }
 
-// selectionCost recomputes Eq 3 for a state's current order from scratch.
+// eq3Breakdown is Eq 3 split into its three weighted terms: Total is
+// always IR + ID (+ Omega for stacking), computed with the exact
+// floating-point operation order the pre-breakdown selectionCost used, so
+// the selection stays bit-identical.
+type eq3Breakdown struct {
+	IR, ID, Omega float64
+	Total         float64
+}
+
+// eq3Terms recomputes Eq 3 for a state's current order from scratch.
 // Restart selection goes through this, never through the incremental
 // caches, so bounded floating-point drift can not flip a winner.
-func selectionCost(p *core.Problem, st *state, opt Options) float64 {
+func eq3Terms(p *core.Problem, st *state, opt Options) eq3Breakdown {
 	idWorst := 0
 	for _, side := range bga.Sides() {
 		if v := st.sections[side].id(st.a.Slots[side]); v > idWorst {
 			idWorst = v
 		}
 	}
-	c := st.lambda*power.ProxyForAssignment(p, st.a, opt.Classes...)/st.proxy0 + st.rho*float64(idWorst)
+	var b eq3Breakdown
+	b.IR = st.lambda * power.ProxyForAssignment(p, st.a, opt.Classes...) / st.proxy0
+	b.ID = st.rho * float64(idWorst)
+	b.Total = b.IR + b.ID
 	if p.Tiers > 1 {
-		c += st.phi * float64(stack.OmegaAssignment(p, st.a)) / st.omega0
+		b.Omega = st.phi * float64(stack.OmegaAssignment(p, st.a)) / st.omega0
+		b.Total += b.Omega
 	}
-	return c
+	return b
+}
+
+// selectionCost is eq3Terms' total (kept for the drift tests).
+func selectionCost(p *core.Problem, st *state, opt Options) float64 {
+	return eq3Terms(p, st, opt).Total
 }
 
 func measure(p *core.Problem, a *core.Assignment, st *state, opt Options) (Metrics, error) {

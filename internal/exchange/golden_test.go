@@ -10,6 +10,7 @@ import (
 	"copack/internal/assign"
 	"copack/internal/bga"
 	"copack/internal/gen"
+	"copack/internal/obs"
 )
 
 // TestGoldenResults pins the exchange output bit for bit. The expected
@@ -17,8 +18,12 @@ import (
 // legacy apply/undo proposals with from-scratch Eq 2 recomputation); the
 // O(1) priced path must reproduce the final assignment, every Stats
 // counter, both cost floats and all RestartCosts exactly — same bits, not
-// just close — at any worker count. Any divergence means the incremental
-// caches or the rng stream drifted from the legacy semantics.
+// just close — at any worker count, with or without a Recorder attached.
+// Any divergence means the incremental caches or the rng stream drifted
+// from the legacy semantics, or that instrumentation leaked into the
+// computation. The telemetry snapshot itself must also be byte-identical
+// across every instrumented cell of the matrix (the exchange emits no
+// wall-clock data, so even the workers=1 and workers=4 snapshots match).
 func TestGoldenResults(t *testing.T) {
 	quick := anneal.Schedule{InitialTemp: 0.5, FinalTemp: 1e-3, Cooling: 0.85, MovesPerTemp: 200}
 	cases := []struct {
@@ -86,48 +91,80 @@ func TestGoldenResults(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			var snapshots [][]byte
 			for _, workers := range []int{1, 4} {
-				opt := tc.opt
-				opt.Workers = workers
-				res, err := Run(p, a, opt)
-				if err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
-				}
-				h := fnv.New64a()
-				for _, side := range bga.Sides() {
-					for _, id := range res.Assignment.Slots[side] {
-						fmt.Fprintf(h, "%d,", id)
+				for _, instrumented := range []bool{false, true} {
+					cell := fmt.Sprintf("workers=%d recorder=%v", workers, instrumented)
+					opt := tc.opt
+					opt.Workers = workers
+					var col *obs.Collector
+					if instrumented {
+						col = obs.NewCollector()
+						opt.Recorder = col
 					}
-					fmt.Fprint(h, ";")
-				}
-				if got := h.Sum64(); got != tc.wantHash {
-					t.Errorf("workers=%d: assignment hash = %#016x, want %#016x", workers, got, tc.wantHash)
-				}
-				s := res.Stats
-				if s.Plateaus != tc.want.Plateaus || s.Proposed != tc.want.Proposed ||
-					s.Infeasible != tc.want.Infeasible || s.Accepted != tc.want.Accepted ||
-					s.Uphill != tc.want.Uphill {
-					t.Errorf("workers=%d: stats = %+v, want %+v", workers, s, tc.want)
-				}
-				if math.Float64bits(s.FinalCost) != math.Float64bits(tc.want.FinalCost) {
-					t.Errorf("workers=%d: FinalCost = %#016x, want %#016x",
-						workers, math.Float64bits(s.FinalCost), math.Float64bits(tc.want.FinalCost))
-				}
-				if math.Float64bits(s.BestCost) != math.Float64bits(tc.want.BestCost) {
-					t.Errorf("workers=%d: BestCost = %#016x, want %#016x",
-						workers, math.Float64bits(s.BestCost), math.Float64bits(tc.want.BestCost))
-				}
-				if res.Restart != tc.restart {
-					t.Errorf("workers=%d: Restart = %d, want %d", workers, res.Restart, tc.restart)
-				}
-				if len(res.RestartCosts) != len(tc.costs) {
-					t.Fatalf("workers=%d: %d restart costs, want %d", workers, len(res.RestartCosts), len(tc.costs))
-				}
-				for k, rc := range res.RestartCosts {
-					if math.Float64bits(rc) != tc.costs[k] {
-						t.Errorf("workers=%d: RestartCosts[%d] = %#016x, want %#016x",
-							workers, k, math.Float64bits(rc), tc.costs[k])
+					res, err := Run(p, a, opt)
+					if err != nil {
+						t.Fatalf("%s: %v", cell, err)
 					}
+					h := fnv.New64a()
+					for _, side := range bga.Sides() {
+						for _, id := range res.Assignment.Slots[side] {
+							fmt.Fprintf(h, "%d,", id)
+						}
+						fmt.Fprint(h, ";")
+					}
+					if got := h.Sum64(); got != tc.wantHash {
+						t.Errorf("%s: assignment hash = %#016x, want %#016x", cell, got, tc.wantHash)
+					}
+					s := res.Stats
+					if s.Plateaus != tc.want.Plateaus || s.Proposed != tc.want.Proposed ||
+						s.Infeasible != tc.want.Infeasible || s.Accepted != tc.want.Accepted ||
+						s.Uphill != tc.want.Uphill {
+						t.Errorf("%s: stats = %+v, want %+v", cell, s, tc.want)
+					}
+					if math.Float64bits(s.FinalCost) != math.Float64bits(tc.want.FinalCost) {
+						t.Errorf("%s: FinalCost = %#016x, want %#016x",
+							cell, math.Float64bits(s.FinalCost), math.Float64bits(tc.want.FinalCost))
+					}
+					if math.Float64bits(s.BestCost) != math.Float64bits(tc.want.BestCost) {
+						t.Errorf("%s: BestCost = %#016x, want %#016x",
+							cell, math.Float64bits(s.BestCost), math.Float64bits(tc.want.BestCost))
+					}
+					if res.Restart != tc.restart {
+						t.Errorf("%s: Restart = %d, want %d", cell, res.Restart, tc.restart)
+					}
+					if len(res.RestartCosts) != len(tc.costs) {
+						t.Fatalf("%s: %d restart costs, want %d", cell, len(res.RestartCosts), len(tc.costs))
+					}
+					for k, rc := range res.RestartCosts {
+						if math.Float64bits(rc) != tc.costs[k] {
+							t.Errorf("%s: RestartCosts[%d] = %#016x, want %#016x",
+								cell, k, math.Float64bits(rc), tc.costs[k])
+						}
+					}
+					if col != nil {
+						snap := col.Snapshot()
+						if got := snap.Counters[fmt.Sprintf("exchange/restart%d/moves_priced", res.Restart)]; got != int64(s.Proposed) {
+							t.Errorf("%s: snapshot moves_priced = %d, want %d", cell, got, s.Proposed)
+						}
+						if got := snap.Counters[fmt.Sprintf("exchange/restart%d/moves_committed", res.Restart)]; got != int64(s.Accepted) {
+							t.Errorf("%s: snapshot moves_committed = %d, want %d", cell, got, s.Accepted)
+						}
+						if got := snap.Gauges["exchange/winner_restart"]; got != float64(res.Restart) {
+							t.Errorf("%s: snapshot winner_restart = %v, want %d", cell, got, res.Restart)
+						}
+						js, err := snap.MarshalIndent()
+						if err != nil {
+							t.Fatalf("%s: marshal snapshot: %v", cell, err)
+						}
+						snapshots = append(snapshots, js)
+					}
+				}
+			}
+			for i := 1; i < len(snapshots); i++ {
+				if string(snapshots[i]) != string(snapshots[0]) {
+					t.Errorf("instrumented snapshot %d differs from snapshot 0:\n%s\nvs\n%s",
+						i, snapshots[i], snapshots[0])
 				}
 			}
 		})

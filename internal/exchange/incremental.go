@@ -56,6 +56,10 @@ type tracker struct {
 	groups int
 
 	applies int
+	// resyncs counts from-scratch proxy recomputations (every
+	// resyncInterval applies, plus the explicit selection-time resync).
+	// Telemetry only — it never feeds back into the run.
+	resyncs int
 }
 
 // newTracker builds the caches from the current assignment.
@@ -97,6 +101,7 @@ func newTracker(p *core.Problem, a *core.Assignment, isSupply *[bga.NumSides][]b
 
 // resyncProxy recomputes the cached proxy from scratch.
 func (tr *tracker) resyncProxy() {
+	tr.resyncs++
 	tr.proxy = tr.resyncCost(-1, 0)
 }
 
@@ -229,6 +234,9 @@ func (tr *tracker) commitSupply(sp supplyPend) {
 	tr.rankOf[sp.gFrom] = -1
 	tr.rankOf[sp.gTo] = sp.rank
 	tr.proxy = sp.proxyAccept
+	// The priced path resyncs inside priceSupplyMove (resyncCost), which
+	// bypasses resyncProxy; count the boundaries this commit crosses.
+	tr.resyncs += sp.appliesAcc/resyncInterval - tr.applies/resyncInterval
 	tr.applies = sp.appliesAcc
 }
 
@@ -239,6 +247,7 @@ func (tr *tracker) rejectSupply(sp supplyPend) {
 		return
 	}
 	tr.proxy = sp.proxyReject
+	tr.resyncs += sp.appliesRej/resyncInterval - tr.applies/resyncInterval
 	tr.applies = sp.appliesRej
 }
 

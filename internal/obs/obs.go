@@ -1,0 +1,266 @@
+// Package obs is the planner's zero-dependency observability layer:
+// machine-readable metrics and phase tracing for the multi-phase pipeline
+// (congestion-driven assignment → SA finger/pad exchange → IR-drop
+// evaluation) without perturbing it.
+//
+// Three rules keep instrumentation safe in a system whose headline
+// guarantee is bit-for-bit determinism:
+//
+//  1. Recording is passive. A Recorder never feeds anything back into the
+//     computation — in particular it never touches a rand stream — so an
+//     instrumented run is bit-identical to an uninstrumented one. The
+//     exchange golden tests enforce this.
+//
+//  2. Disabled means free. NopRecorder is a zero-size value whose methods
+//     do nothing; calling it allocates nothing (0 allocs/op, enforced by
+//     testing.AllocsPerRun in obs_test.go), so instrumentation points can
+//     stay compiled into release paths.
+//
+//  3. Snapshots are deterministic. A Collector snapshot carries no
+//     wall-clock timestamps — only caller-stamped durations — and
+//     marshals with a stable, sorted key order, so two identical runs
+//     produce snapshots that differ at most in duration values. Counter
+//     and gauge values are themselves deterministic as long as writers
+//     follow the key discipline below.
+//
+// Key discipline for parallel writers: counters may share a key across
+// goroutines (addition commutes), but gauges and timers are last-write-wins
+// per key, so concurrent stages must use writer-unique keys (the exchange
+// layer keys per restart: "anneal/restart3/…"). The pipeline-level phase
+// events (Phase) must only be recorded from a single goroutine, which is
+// how copack.PlanContext uses them.
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder is the instrumentation sink. Implementations must be safe for
+// concurrent use; all of them must treat recording as write-only (nothing
+// recorded may flow back into the caller's computation).
+type Recorder interface {
+	// Add increments the counter name by delta.
+	Add(name string, delta int64)
+	// Set sets the gauge name (last write wins).
+	Set(name string, v float64)
+	// Observe accumulates one sample of duration d into the timer name.
+	Observe(name string, d time.Duration)
+	// Phase appends a span-style phase event: the named pipeline phase
+	// completed after d. The duration is stamped by the caller — the
+	// Recorder itself never reads a clock — and events must come from a
+	// single goroutine so their order is the pipeline's order.
+	Phase(name string, d time.Duration)
+}
+
+// NopRecorder is the disabled Recorder: every method is a no-op and costs
+// nothing (zero size, zero allocations). It is the default everywhere a
+// Recorder is optional.
+type NopRecorder struct{}
+
+// Add implements Recorder.
+func (NopRecorder) Add(string, int64) {}
+
+// Set implements Recorder.
+func (NopRecorder) Set(string, float64) {}
+
+// Observe implements Recorder.
+func (NopRecorder) Observe(string, time.Duration) {}
+
+// Phase implements Recorder.
+func (NopRecorder) Phase(string, time.Duration) {}
+
+// OrNop returns r, or NopRecorder when r is nil, so call sites never
+// nil-check.
+func OrNop(r Recorder) Recorder {
+	if r == nil {
+		return NopRecorder{}
+	}
+	return r
+}
+
+// nopEnd is the shared no-op returned by StartPhase for disabled
+// recorders, so the disabled path allocates nothing.
+var nopEnd = func() {}
+
+// StartPhase starts timing a pipeline phase: the returned func records
+// Phase(name, elapsed) when called. The clock lives here, in the caller's
+// frame — the snapshot body only ever sees the resulting duration.
+func StartPhase(r Recorder, name string) func() {
+	if _, nop := r.(NopRecorder); nop || r == nil {
+		return nopEnd
+	}
+	start := time.Now()
+	return func() { r.Phase(name, time.Since(start)) }
+}
+
+// prefixed namespaces another Recorder.
+type prefixed struct {
+	r      Recorder
+	prefix string
+}
+
+func (p prefixed) Add(name string, delta int64)         { p.r.Add(p.prefix+name, delta) }
+func (p prefixed) Set(name string, v float64)           { p.r.Set(p.prefix+name, v) }
+func (p prefixed) Observe(name string, d time.Duration) { p.r.Observe(p.prefix+name, d) }
+func (p prefixed) Phase(name string, d time.Duration)   { p.r.Phase(p.prefix+name, d) }
+
+// WithPrefix returns a Recorder that prepends prefix to every key before
+// forwarding to r. A nil or Nop recorder stays Nop (so the disabled path
+// keeps its zero cost); prefixes compose.
+func WithPrefix(r Recorder, prefix string) Recorder {
+	if r == nil {
+		return NopRecorder{}
+	}
+	if _, nop := r.(NopRecorder); nop {
+		return NopRecorder{}
+	}
+	if p, ok := r.(prefixed); ok {
+		return prefixed{r: p.r, prefix: p.prefix + prefix}
+	}
+	return prefixed{r: r, prefix: prefix}
+}
+
+// TimerStat is the accumulated state of one timer.
+type TimerStat struct {
+	// Count is the number of Observe calls.
+	Count int64 `json:"count"`
+	// TotalMs is the summed observed duration in milliseconds.
+	TotalMs float64 `json:"total_ms"`
+}
+
+// PhaseEvent is one completed pipeline phase, in pipeline order.
+type PhaseEvent struct {
+	Name string  `json:"name"`
+	Ms   float64 `json:"ms"`
+}
+
+// Snapshot is a Collector's state at one point in time. Its JSON form is
+// deterministic: encoding/json marshals map keys sorted, struct fields in
+// declaration order, and Phases in the order they were recorded (the
+// pipeline's own order). It carries no timestamps — durations only.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]float64   `json:"gauges,omitempty"`
+	Timers   map[string]TimerStat `json:"timers,omitempty"`
+	Phases   []PhaseEvent         `json:"phases,omitempty"`
+}
+
+// Keys returns every counter, gauge and timer key, sorted and de-duplicated
+// — the order the JSON form presents them per section.
+func (s Snapshot) Keys() []string {
+	seen := make(map[string]bool, len(s.Counters)+len(s.Gauges)+len(s.Timers))
+	var out []string
+	add := func(k string) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for k := range s.Counters {
+		add(k)
+	}
+	for k := range s.Gauges {
+		add(k)
+	}
+	for k := range s.Timers {
+		add(k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarshalIndent renders the snapshot as indented JSON with a trailing
+// newline, the form fpassign -metrics writes.
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Collector is a Recorder that accumulates everything in memory for a
+// final Snapshot. It is safe for concurrent use.
+type Collector struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	timers   map[string]TimerStat
+	phases   []PhaseEvent
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add implements Recorder.
+func (c *Collector) Add(name string, delta int64) {
+	c.mu.Lock()
+	if c.counters == nil {
+		c.counters = make(map[string]int64)
+	}
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// Set implements Recorder.
+func (c *Collector) Set(name string, v float64) {
+	c.mu.Lock()
+	if c.gauges == nil {
+		c.gauges = make(map[string]float64)
+	}
+	c.gauges[name] = v
+	c.mu.Unlock()
+}
+
+// Observe implements Recorder.
+func (c *Collector) Observe(name string, d time.Duration) {
+	c.mu.Lock()
+	if c.timers == nil {
+		c.timers = make(map[string]TimerStat)
+	}
+	t := c.timers[name]
+	t.Count++
+	t.TotalMs += d.Seconds() * 1e3
+	c.timers[name] = t
+	c.mu.Unlock()
+}
+
+// Phase implements Recorder.
+func (c *Collector) Phase(name string, d time.Duration) {
+	c.mu.Lock()
+	c.phases = append(c.phases, PhaseEvent{Name: name, Ms: d.Seconds() * 1e3})
+	c.mu.Unlock()
+}
+
+// Snapshot returns a deep copy of the collected state; the Collector can
+// keep recording afterwards.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{}
+	if len(c.counters) > 0 {
+		s.Counters = make(map[string]int64, len(c.counters))
+		for k, v := range c.counters {
+			s.Counters[k] = v
+		}
+	}
+	if len(c.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(c.gauges))
+		for k, v := range c.gauges {
+			s.Gauges[k] = v
+		}
+	}
+	if len(c.timers) > 0 {
+		s.Timers = make(map[string]TimerStat, len(c.timers))
+		for k, v := range c.timers {
+			s.Timers[k] = v
+		}
+	}
+	if len(c.phases) > 0 {
+		s.Phases = append([]PhaseEvent(nil), c.phases...)
+	}
+	return s
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNopRecorderZeroAllocs is the "disabled means free" contract: every
+// Recorder method on the Nop, plus the StartPhase and WithPrefix helpers,
+// must allocate nothing. The hot paths keep their instrumentation points
+// compiled in on the strength of this.
+func TestNopRecorderZeroAllocs(t *testing.T) {
+	var r Recorder = NopRecorder{}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.Add("counter", 1)
+		r.Set("gauge", 2.5)
+		r.Observe("timer", time.Millisecond)
+		r.Phase("phase", time.Millisecond)
+	}); allocs != 0 {
+		t.Errorf("NopRecorder methods: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		end := StartPhase(r, "phase")
+		end()
+	}); allocs != 0 {
+		t.Errorf("StartPhase on Nop: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = WithPrefix(r, "pre/")
+	}); allocs != 0 {
+		t.Errorf("WithPrefix on Nop: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = OrNop(nil)
+		_ = OrNop(r)
+	}); allocs != 0 {
+		t.Errorf("OrNop: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestCollectorAccumulates(t *testing.T) {
+	c := NewCollector()
+	c.Add("moves", 3)
+	c.Add("moves", 4)
+	c.Set("cost", 1.5)
+	c.Set("cost", 2.5) // last write wins
+	c.Observe("solve", 10*time.Millisecond)
+	c.Observe("solve", 30*time.Millisecond)
+	c.Phase("assign", time.Millisecond)
+	c.Phase("exchange", 2*time.Millisecond)
+
+	s := c.Snapshot()
+	if got := s.Counters["moves"]; got != 7 {
+		t.Errorf("counter moves = %d, want 7", got)
+	}
+	if got := s.Gauges["cost"]; got != 2.5 {
+		t.Errorf("gauge cost = %g, want 2.5", got)
+	}
+	ts := s.Timers["solve"]
+	if ts.Count != 2 || ts.TotalMs != 40 {
+		t.Errorf("timer solve = %+v, want {2 40}", ts)
+	}
+	want := []PhaseEvent{{"assign", 1}, {"exchange", 2}}
+	if !reflect.DeepEqual(s.Phases, want) {
+		t.Errorf("phases = %+v, want %+v", s.Phases, want)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	c := NewCollector()
+	c.Add("a", 1)
+	c.Phase("p", time.Millisecond)
+	s := c.Snapshot()
+	c.Add("a", 10)
+	c.Phase("q", time.Millisecond)
+	if s.Counters["a"] != 1 {
+		t.Errorf("snapshot counter mutated to %d", s.Counters["a"])
+	}
+	if len(s.Phases) != 1 {
+		t.Errorf("snapshot phases mutated to %d events", len(s.Phases))
+	}
+}
+
+func TestWithPrefixComposesAndForwards(t *testing.T) {
+	c := NewCollector()
+	r := WithPrefix(WithPrefix(c, "plan/"), "anneal/")
+	r.Add("accepted", 2)
+	r.Set("temp", 0.5)
+	r.Observe("run", time.Millisecond)
+	r.Phase("cool", time.Millisecond)
+	s := c.Snapshot()
+	if s.Counters["plan/anneal/accepted"] != 2 {
+		t.Errorf("prefixed counter missing: %+v", s.Counters)
+	}
+	if s.Gauges["plan/anneal/temp"] != 0.5 {
+		t.Errorf("prefixed gauge missing: %+v", s.Gauges)
+	}
+	if s.Timers["plan/anneal/run"].Count != 1 {
+		t.Errorf("prefixed timer missing: %+v", s.Timers)
+	}
+	if len(s.Phases) != 1 || s.Phases[0].Name != "plan/anneal/cool" {
+		t.Errorf("prefixed phase missing: %+v", s.Phases)
+	}
+	if _, nop := WithPrefix(nil, "x/").(NopRecorder); !nop {
+		t.Error("WithPrefix(nil) is not Nop")
+	}
+	if _, nop := WithPrefix(NopRecorder{}, "x/").(NopRecorder); !nop {
+		t.Error("WithPrefix(Nop) is not Nop")
+	}
+}
+
+func TestStartPhaseRecords(t *testing.T) {
+	c := NewCollector()
+	end := StartPhase(c, "work")
+	end()
+	s := c.Snapshot()
+	if len(s.Phases) != 1 || s.Phases[0].Name != "work" || s.Phases[0].Ms < 0 {
+		t.Errorf("phases = %+v", s.Phases)
+	}
+}
+
+// TestSnapshotJSONDeterministic records the same logical metrics in two
+// different arrival orders — including concurrent counter increments — and
+// requires byte-identical JSON. This is the "stable key order" guarantee
+// the fpassign -metrics contract rests on.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func(shuffleSeed int64) []byte {
+		c := NewCollector()
+		keys := []string{"b/two", "a/one", "c/three", "a/zzz", "b/aaa"}
+		rng := rand.New(rand.NewSource(shuffleSeed))
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		var wg sync.WaitGroup
+		for _, k := range keys {
+			k := k
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					c.Add(k, 1)
+				}
+			}()
+			c.Set("gauge/"+k, float64(len(k)))
+		}
+		wg.Wait()
+		c.Phase("assign", 0)
+		c.Phase("exchange", 0)
+		out, err := c.Snapshot().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := build(1), build(99)
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshots differ:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := NewCollector()
+	c.Add("n", 5)
+	c.Set("g", 1.25)
+	c.Observe("t", 8*time.Millisecond)
+	c.Phase("p", 2*time.Millisecond)
+	s := c.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip changed snapshot:\n%+v\n%+v", s, back)
+	}
+}
+
+func TestSnapshotKeysSorted(t *testing.T) {
+	c := NewCollector()
+	c.Add("z", 1)
+	c.Set("m", 2)
+	c.Observe("a", time.Millisecond)
+	c.Set("z", 3) // shared with the counter: de-duplicated
+	keys := c.Snapshot().Keys()
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("keys not sorted: %v", keys)
+	}
+	want := []string{"a", "m", "z"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("keys = %v, want %v", keys, want)
+	}
+}
+
+func TestOrNop(t *testing.T) {
+	if _, ok := OrNop(nil).(NopRecorder); !ok {
+		t.Error("OrNop(nil) is not NopRecorder")
+	}
+	c := NewCollector()
+	if got := OrNop(c); got != Recorder(c) {
+		t.Error("OrNop did not pass through a real recorder")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"copack/internal/faultinject"
+	"copack/internal/obs"
 	"copack/internal/parallel"
 )
 
@@ -106,6 +107,12 @@ type SolveOptions struct {
 	// construction — Workers only decides how their fixed work units are
 	// scheduled (see parallel.go).
 	Workers int
+	// Recorder receives solver telemetry after the solve finishes:
+	// iteration count, final residual, convergence, the worker shard
+	// count and the grid/pad sizes. Nil disables recording; recording
+	// never changes the solve. Callers namespace per solve stage with
+	// obs.WithPrefix (gauges are last-write-wins).
+	Recorder obs.Recorder
 }
 
 func (o SolveOptions) withDefaults(g GridSpec) SolveOptions {
@@ -210,14 +217,54 @@ func SolveContext(ctx context.Context, g GridSpec, pads []Pad, opt SolveOptions)
 	if opt.Tol < 0 || opt.MaxIter < 1 {
 		return nil, fmt.Errorf("power: invalid solve options (tol %g, maxIter %d)", opt.Tol, opt.MaxIter)
 	}
+	var sol *Solution
+	var err error
 	switch opt.Method {
 	case SOR:
-		return solveSOR(ctx, g, isPad, opt)
+		sol, err = solveSOR(ctx, g, isPad, opt)
 	case CG:
-		return solveCG(ctx, g, isPad, opt)
+		sol, err = solveCG(ctx, g, isPad, opt)
 	default:
 		return nil, fmt.Errorf("power: unknown method %d", opt.Method)
 	}
+	if err == nil {
+		recordSolve(opt, g, len(pads), sol)
+	}
+	return sol, err
+}
+
+// recordSolve emits one solve's telemetry. It runs strictly after the
+// numeric work, so recording can never change the solution.
+func recordSolve(opt SolveOptions, g GridSpec, pads int, sol *Solution) {
+	rec := obs.OrNop(opt.Recorder)
+	if _, nop := rec.(obs.NopRecorder); nop {
+		return
+	}
+	switch opt.Method {
+	case SOR:
+		rec.Add("method/sor", 1)
+	case CG:
+		rec.Add("method/cg", 1)
+	}
+	rec.Add("solves", 1)
+	rec.Add("iterations", int64(sol.Iterations))
+	rec.Set("residual", sol.Residual)
+	rec.Set("max_drop", sol.MaxDrop())
+	if sol.Converged {
+		rec.Set("converged", 1)
+	} else {
+		rec.Set("converged", 0)
+	}
+	rec.Set("nodes", float64(g.Nx*g.Ny))
+	rec.Set("pads", float64(pads))
+	// The worker shard count the solve actually used: 1 below the
+	// parallel threshold (legacy sequential scheme), the resolved pool
+	// size above it.
+	workers := 1
+	if g.Nx*g.Ny >= parallelNodeThreshold {
+		workers = parallel.Workers(opt.Workers)
+	}
+	rec.Set("workers", float64(workers))
 }
 
 // iterCheck polls the fault-injection site and the context once per solver

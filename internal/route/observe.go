@@ -1,0 +1,50 @@
+package route
+
+import (
+	"fmt"
+
+	"copack/internal/core"
+	"copack/internal/obs"
+)
+
+// EvaluateObserved is Evaluate plus telemetry: after a successful
+// evaluation it emits the package-wide and per-quadrant density metrics to
+// rec (see Stats.Record for the key schema). Recording happens strictly
+// after the evaluation, so an observed evaluation returns bit-identical
+// Stats to a plain one.
+func EvaluateObserved(p *core.Problem, a *core.Assignment, rec obs.Recorder) (*Stats, error) {
+	st, err := Evaluate(p, a)
+	if err != nil {
+		return nil, err
+	}
+	st.Record(rec)
+	return st, nil
+}
+
+// Record emits the evaluation's telemetry:
+//
+//	max_density, wirelength                       package-wide gauges
+//	<side>/max_density, <side>/wirelength         per-quadrant gauges
+//	<side>/line_density/<d>                       histogram counters: the
+//	                                              number of via lines in the
+//	                                              quadrant whose worst
+//	                                              segment carries d wires
+//
+// The histogram bucket is zero-padded to three digits so the snapshot's
+// sorted key order is also numeric order.
+func (s *Stats) Record(rec obs.Recorder) {
+	rec = obs.OrNop(rec)
+	if _, nop := rec.(obs.NopRecorder); nop {
+		return
+	}
+	rec.Set("max_density", float64(s.MaxDensity))
+	rec.Set("wirelength", s.Wirelength)
+	for _, q := range s.Quadrants {
+		qr := obs.WithPrefix(rec, q.Side.String()+"/")
+		qr.Set("max_density", float64(q.MaxDensity))
+		qr.Set("wirelength", q.Wirelength)
+		for _, ls := range q.Lines {
+			qr.Add(fmt.Sprintf("line_density/%03d", ls.Max), 1)
+		}
+	}
+}
