@@ -20,24 +20,34 @@ import (
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+// realMain parses args on a private FlagSet and runs the flow; taking the
+// argument slice (rather than the global flag state) keeps the whole CLI
+// callable from tests, mirroring fpbench's structure.
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("fpassign", flag.ContinueOnError)
 	var (
-		circuit      = flag.Int("circuit", 0, "Table 1 circuit number 1..5 (0 = use -fingers)")
-		in           = flag.String("in", "", "load a design file instead of generating an instance")
-		out          = flag.String("out", "", "write the planned design back to a design file")
-		fingers      = flag.Int("fingers", 96, "finger/pad count for a custom instance")
-		ballSpace    = flag.Float64("ballspace", 1.2, "bump ball spacing (µm) for a custom instance")
-		alg          = flag.String("alg", "dfa", "assignment algorithm: dfa, ifa or random")
-		tiers        = flag.Int("tiers", 1, "stacking tier count ψ (1 = 2-D IC)")
-		seed         = flag.Int64("seed", 1, "random seed")
-		skipExchange = flag.Bool("skip-exchange", false, "stop after the congestion-driven step")
-		improveVias  = flag.Bool("improve-vias", false, "run the iterative via improvement after planning")
-		runDRC       = flag.Bool("drc", false, "run the design-rule check on the final plan")
-		svgPath      = flag.String("svg", "", "write the routing plot to this SVG file")
-		irPath       = flag.String("irmap", "", "write the IR-drop heat map to this SVG file")
-		timeout      = flag.Duration("timeout", 0, "planning time budget (e.g. 30s); on expiry the best-so-far plan is reported (0 = none)")
-		metricsPath  = flag.String("metrics", "", "write the run's telemetry snapshot (counters, gauges, phase timings) to this JSON file")
+		circuit      = fs.Int("circuit", 0, "Table 1 circuit number 1..5 (0 = use -fingers)")
+		in           = fs.String("in", "", "load a design file instead of generating an instance")
+		out          = fs.String("out", "", "write the planned design back to a design file")
+		fingers      = fs.Int("fingers", 96, "finger/pad count for a custom instance")
+		ballSpace    = fs.Float64("ballspace", 1.2, "bump ball spacing (µm) for a custom instance")
+		alg          = fs.String("alg", "dfa", "assignment algorithm: dfa, ifa or random")
+		tiers        = fs.Int("tiers", 1, "stacking tier count ψ (1 = 2-D IC)")
+		seed         = fs.Int64("seed", 1, "random seed")
+		skipExchange = fs.Bool("skip-exchange", false, "stop after the congestion-driven step")
+		improveVias  = fs.Bool("improve-vias", false, "run the iterative via improvement after planning")
+		runDRC       = fs.Bool("drc", false, "run the design-rule check on the final plan")
+		svgPath      = fs.String("svg", "", "write the routing plot to this SVG file")
+		irPath       = fs.String("irmap", "", "write the IR-drop heat map to this SVG file")
+		timeout      = fs.Duration("timeout", 0, "planning time budget (e.g. 30s); on expiry the best-so-far plan is reported (0 = none)")
+		metricsPath  = fs.String("metrics", "", "write the run's telemetry snapshot (counters, gauges, phase timings) to this JSON file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := config{
 		circuit: *circuit, in: *in, out: *out, fingers: *fingers, ballSpace: *ballSpace,
@@ -47,8 +57,9 @@ func main() {
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fpassign:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 type config struct {

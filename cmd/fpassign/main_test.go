@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -62,5 +63,64 @@ func TestRunTimeoutStillSucceeds(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Errorf("run ignored the 50ms budget (%v)", elapsed)
+	}
+}
+
+func TestRealMainFlags(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	// A full flag-driven run: -timeout keeps it bounded, -metrics writes
+	// the telemetry snapshot, both via the FlagSet path.
+	code := realMain([]string{
+		"-circuit", "1", "-alg", "DFA", "-skip-exchange",
+		"-timeout", "30s", "-metrics", metrics,
+	})
+	if code != 0 {
+		t.Fatalf("realMain exit code %d", code)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("-metrics file: %v", err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Phases   []struct {
+			Name string `json:"name"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("-metrics wrote invalid JSON: %v", err)
+	}
+	if len(snap.Phases) == 0 {
+		t.Error("metrics snapshot has no phase events")
+	}
+}
+
+func TestRealMainBadFlags(t *testing.T) {
+	if code := realMain([]string{"-no-such-flag"}); code != 2 {
+		t.Errorf("unknown flag: exit code %d, want 2", code)
+	}
+	if code := realMain([]string{"-timeout", "banana"}); code != 2 {
+		t.Errorf("bad -timeout value: exit code %d, want 2", code)
+	}
+	if code := realMain([]string{"-circuit", "9"}); code != 1 {
+		t.Errorf("bad circuit: exit code %d, want 1", code)
+	}
+}
+
+func TestRealMainUnwritableOutputs(t *testing.T) {
+	// Every output flag must surface an unwritable path as exit code 1,
+	// not a crash or silent success.
+	outs := [][]string{
+		{"-metrics", "/nonexistent-dir/metrics.json"},
+		{"-out", "/nonexistent-dir/plan.copack"},
+		{"-svg", "/nonexistent-dir/r.svg"},
+		{"-irmap", "/nonexistent-dir/ir.svg"},
+	}
+	for _, extra := range outs {
+		args := append([]string{"-circuit", "1", "-skip-exchange"}, extra...)
+		if code := realMain(args); code != 1 {
+			t.Errorf("%v: exit code %d, want 1", extra, code)
+		}
 	}
 }

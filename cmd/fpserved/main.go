@@ -1,0 +1,119 @@
+// Command fpserved runs the copack planner as a long-lived HTTP/JSON
+// service: a bounded job queue over the planning pipeline with a
+// content-addressed result cache, so identical requests are answered from
+// memory instead of re-annealed.
+//
+// Usage:
+//
+//	fpserved -addr 127.0.0.1:8080 -queue 64 -workers 2 -cache 128
+//
+// Endpoints (see README "Running as a service" for a curl session):
+//
+//	GET    /healthz           liveness
+//	GET    /metrics           service metrics (deterministic JSON)
+//	POST   /plan              synchronous plan
+//	POST   /jobs              async submit (429 + Retry-After when full)
+//	GET    /jobs/{id}         poll status
+//	GET    /jobs/{id}/result  fetch the plan
+//	DELETE /jobs/{id}         cancel
+//
+// SIGINT/SIGTERM trigger a graceful drain: new work is rejected, running
+// plans stop at their next checkpoint and report best-so-far partial
+// results, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"copack/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain parses args on a private FlagSet, serves until ctx is
+// canceled, then drains. It prints "listening on http://<addr>" once the
+// listener is up so scripts (and CI) can scrape the bound port when -addr
+// ends in :0.
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fpserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks one)")
+		queue     = fs.Int("queue", 64, "async job queue depth; beyond it submissions get 429")
+		workers   = fs.Int("workers", 0, "job worker goroutines (0 = one per CPU)")
+		syncConc  = fs.Int("sync", 0, "max concurrent synchronous /plan requests (0 = same as -workers)")
+		cache     = fs.Int("cache", 128, "content-addressed result cache entries (negative disables)")
+		maxBody   = fs.Int64("max-body", 1<<20, "request body size cap in bytes")
+		maxBudget = fs.Duration("max-budget", 2*time.Minute,
+			"cap on the per-request planning budget (budget_ms)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
+			"how long a shutdown waits for in-flight jobs before giving up")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	svc := service.New(service.Config{
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		SyncConcurrency: *syncConc,
+		CacheEntries:    *cache,
+		MaxBodyBytes:    *maxBody,
+		MaxBudget:       *maxBudget,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "fpserved: listen: %v\n", err)
+		// The workers are already up; release them before exiting.
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		svc.Shutdown(drainCtx)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(stdout, "fpserved: listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "fpserved: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "fpserved: draining\n")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "fpserved: %v\n", err)
+		code = 1
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "fpserved: http shutdown: %v\n", err)
+		code = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "fpserved: serve: %v\n", err)
+		code = 1
+	}
+	fmt.Fprintf(stdout, "fpserved: drained, exiting\n")
+	return code
+}

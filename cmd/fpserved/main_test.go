@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"copack"
+)
+
+// syncBuffer is a bytes.Buffer safe for the cross-goroutine writes
+// realMain does while the test reads it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+func TestRealMainServeAndDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain(ctx, []string{"-addr", "127.0.0.1:0", "-queue", "4", "-workers", "1"},
+			&stdout, &stderr)
+	}()
+
+	// Scrape the bound address from the startup line.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenLine.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("no listening line; stdout=%q stderr=%q", stdout.String(), stderr.String())
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// A full synchronous plan through the real binary wiring.
+	tc := copack.TestCircuit{Name: "served", Fingers: 16,
+		BallSpace: 1.2, FingerW: 0.1, FingerH: 0.2, FingerSpace: 0.12}
+	p, err := copack.BuildCircuit(tc, copack.BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"design":  copack.FormatDesign(p),
+		"options": map[string]any{"seed": 3, "skip_exchange": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	planBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d: %s", resp.StatusCode, planBody)
+	}
+	var pr struct {
+		Solution string `json:"solution"`
+	}
+	if err := json.Unmarshal(planBody, &pr); err != nil || !strings.Contains(pr.Solution, "order") {
+		t.Fatalf("plan body lacks a solution: %v %s", err, planBody)
+	}
+
+	// Signal-equivalent shutdown: cancel the context, expect a clean
+	// drain and exit 0.
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("realMain did not exit after cancel")
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "drained, exiting") {
+		t.Errorf("drain messages missing from stdout: %q", out)
+	}
+}
+
+func TestRealMainBadFlag(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := realMain(context.Background(), []string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "flag provided but not defined") {
+		t.Errorf("stderr %q lacks flag error", stderr.String())
+	}
+}
+
+func TestRealMainBadAddr(t *testing.T) {
+	var stdout, stderr syncBuffer
+	code := realMain(context.Background(),
+		[]string{"-addr", "256.256.256.256:1"}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("bad addr exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "listen") {
+		t.Errorf("stderr %q lacks listen error", stderr.String())
+	}
+}
+
+// TestRealMainHelp keeps the usage text wired to the private FlagSet
+// rather than the global one.
+func TestRealMainHelp(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := realMain(context.Background(), []string{"-h"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-h exit = %d, want 2", code)
+	}
+	for _, flagName := range []string{"-addr", "-queue", "-cache", "-max-budget", "-drain-timeout"} {
+		if !strings.Contains(stderr.String(), flagName) {
+			t.Errorf("usage output missing %s", flagName)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime/debug"
+	"strings"
 	"time"
 
 	"copack/internal/anneal"
@@ -159,9 +160,11 @@ func (a Algorithm) String() string {
 	}
 }
 
-// ParseAlgorithm converts a CLI token to an Algorithm.
+// ParseAlgorithm converts a CLI token to an Algorithm. Matching is
+// case-insensitive and ignores surrounding whitespace, so "IFA" and
+// " dfa " parse the same as their canonical lowercase forms.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	switch s {
+	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "dfa":
 		return DFA, nil
 	case "ifa":

@@ -114,6 +114,35 @@ func TestAlgorithmParsing(t *testing.T) {
 	}
 }
 
+func TestAlgorithmParsingLenient(t *testing.T) {
+	// CLI and service inputs arrive with arbitrary case and stray
+	// whitespace; ParseAlgorithm normalizes both.
+	cases := []struct {
+		in   string
+		want Algorithm
+		ok   bool
+	}{
+		{"IFA", IFA, true},
+		{" dfa ", DFA, true},
+		{"\tRandom\n", RandomAssign, true},
+		{"DfA", DFA, true},
+		{"", 0, false},
+		{"   ", 0, false},
+		{"d f a", 0, false},
+		{"greedy", 0, false},
+	}
+	for _, c := range cases {
+		alg, err := ParseAlgorithm(c.in)
+		if c.ok {
+			if err != nil || alg != c.want {
+				t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", c.in, alg, err, c.want)
+			}
+		} else if err == nil {
+			t.Errorf("ParseAlgorithm(%q) accepted; want error", c.in)
+		}
+	}
+}
+
 func TestParseCircuit(t *testing.T) {
 	c, err := ParseCircuit("circuit demo\nnet a signal\nnet v power\n")
 	if err != nil {

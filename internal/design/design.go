@@ -28,6 +28,7 @@ package design
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -106,6 +107,20 @@ func FormatSolution(p *core.Problem, a *core.Assignment) string {
 	_ = WriteSolution(&sb, p, a)
 	return sb.String()
 }
+
+// IOError reports that the underlying io.Reader failed while Read was
+// scanning the design text. It is distinct from a parse error — the input
+// was never fully seen, so nothing can be said about its validity — which
+// lets callers map the two cases differently (a service turns parse errors
+// into 400 Bad Request and transport failures into 5xx). Unwrap exposes
+// the reader's original error for errors.Is/As.
+type IOError struct{ Err error }
+
+// Error implements error.
+func (e *IOError) Error() string { return fmt.Sprintf("design: read: %v", e.Err) }
+
+// Unwrap exposes the underlying reader error.
+func (e *IOError) Unwrap() error { return e.Err }
 
 type parser struct {
 	lineno  int
@@ -210,7 +225,13 @@ func parse(r io.Reader) (*parser, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("design: read: %v", err)
+		// bufio.ErrTooLong is a property of the input (a line past the
+		// scanner's 1 MiB cap), not of the transport: report it as a
+		// parse error so callers reject the design rather than retry.
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("design: line %d: %v", ps.lineno+1, err)
+		}
+		return nil, &IOError{Err: err}
 	}
 	return ps, nil
 }

@@ -1,6 +1,9 @@
 package design
 
 import (
+	"errors"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -212,5 +215,61 @@ func TestSolutionErrors(t *testing.T) {
 	// Read (non-solution) still validates order lines.
 	if _, err := Parse(mutated); err == nil {
 		t.Error("Read accepted corrupt order lines")
+	}
+}
+
+// failingReader yields some valid prefix of a design file, then fails with
+// a transport error, the way a dropped connection would.
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestReadDistinguishesIOErrors(t *testing.T) {
+	cause := fmt.Errorf("connection reset by peer")
+	_, err := Read(&failingReader{data: []byte("circuit c\nnet a signal\n"), err: cause})
+	if err == nil {
+		t.Fatal("failing reader produced no error")
+	}
+	var ioErr *IOError
+	if !errors.As(err, &ioErr) {
+		t.Fatalf("reader failure not reported as *IOError: %T %v", err, err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("IOError does not unwrap to the reader's cause: %v", err)
+	}
+
+	// A plain parse error must NOT be an IOError.
+	_, err = Parse("circuit c\nbogus directive\n")
+	if err == nil {
+		t.Fatal("bogus directive accepted")
+	}
+	if errors.As(err, &ioErr) {
+		t.Errorf("parse error misclassified as IOError: %v", err)
+	}
+
+	// An over-long line is an input problem, not a transport one.
+	long := "circuit c\n# " + strings.Repeat("x", 2<<20) + "\n"
+	_, err = Read(strings.NewReader(long))
+	if err == nil {
+		t.Fatal("over-long line accepted")
+	}
+	if errors.As(err, &ioErr) {
+		t.Errorf("bufio.ErrTooLong misclassified as IOError: %v", err)
+	}
+
+	// io.ErrUnexpectedEOF from the reader IS transport-shaped.
+	_, err = Read(&failingReader{data: []byte("circuit c\n"), err: io.ErrUnexpectedEOF})
+	if !errors.As(err, &ioErr) {
+		t.Errorf("unexpected EOF not reported as *IOError: %v", err)
 	}
 }

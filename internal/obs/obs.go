@@ -182,6 +182,18 @@ func (s Snapshot) MarshalIndent() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// Marshal renders the snapshot as compact single-line JSON with a trailing
+// newline — the form the planning service's /metrics endpoint serves. Like
+// MarshalIndent it is deterministic: keys come out sorted, phases in
+// recording order, and the body carries no wall-clock timestamps.
+func (s Snapshot) Marshal() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
 // Collector is a Recorder that accumulates everything in memory for a
 // final Snapshot. It is safe for concurrent use.
 type Collector struct {

@@ -207,3 +207,38 @@ func TestOrNop(t *testing.T) {
 		t.Error("OrNop did not pass through a real recorder")
 	}
 }
+
+func TestSnapshotMarshalCompact(t *testing.T) {
+	c := NewCollector()
+	c.Add("service/cache/hits", 3)
+	c.Set("service/queue/depth", 2)
+	out, err := c.Snapshot().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || out[len(out)-1] != '\n' {
+		t.Fatalf("Marshal output must end in newline: %q", out)
+	}
+	if bytes.ContainsRune(out[:len(out)-1], '\n') {
+		t.Errorf("Marshal output is not single-line: %q", out)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(out, &round); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if round.Counters["service/cache/hits"] != 3 {
+		t.Errorf("round trip lost counter: %+v", round)
+	}
+	// Compact and indented forms must agree on content.
+	indented, err := c.Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaIndent Snapshot
+	if err := json.Unmarshal(indented, &viaIndent); err != nil {
+		t.Fatal(err)
+	}
+	if viaIndent.Gauges["service/queue/depth"] != round.Gauges["service/queue/depth"] {
+		t.Error("compact and indented forms disagree")
+	}
+}

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"copack/internal/obs"
+)
+
+// resultCache is the content-addressed result cache: rendered response
+// bodies keyed by the canonical request hash, bounded by an LRU policy.
+// Bodies are stored and returned as-is — the whole point is that a hit
+// replays the exact bytes of the original computation — so callers must
+// never mutate what get returns.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+	rec     obs.Recorder
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache builds a cache holding up to max bodies; max < 0
+// disables caching entirely (every get is a miss, every put a no-op).
+func newResultCache(max int, rec obs.Recorder) *resultCache {
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+		rec:     obs.OrNop(rec),
+	}
+}
+
+// get returns the cached body for key and refreshes its recency. The
+// hit/miss counters feed the service metrics (service/cache/hits,
+// service/cache/misses).
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.max < 0 {
+		c.rec.Add("cache/misses", 1)
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.rec.Add("cache/misses", 1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.rec.Add("cache/hits", 1)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put inserts (or refreshes) a body, evicting the least recently used
+// entries beyond the bound.
+func (c *resultCache) put(key string, body []byte) {
+	if c.max < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Identical requests recompute identical bodies, so overwriting
+		// is a determinism no-op; refresh recency only.
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, body: body})
+	c.entries[key] = el
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.rec.Add("cache/evictions", 1)
+	}
+	c.rec.Set("cache/entries", float64(c.order.Len()))
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

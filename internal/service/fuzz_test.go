@@ -1,0 +1,114 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzPlanRequest throws arbitrary bytes at the request front half — decode
+// then canonicalize — and checks the invariants the HTTP layer depends on:
+// every rejection is a typed *httpError (so the handler can map it to a
+// 4xx/5xx instead of panicking or leaking a 500), and every acceptance is
+// deterministic: canonicalizing twice yields the same key, and the
+// canonical text is a fixed point of canonicalization.
+func FuzzPlanRequest(f *testing.F) {
+	design := testDesign(f, 16, 1)
+	// Seeds cover the interesting request classes: a valid minimal
+	// request, malformed/truncated JSON, unknown fields, wrong types,
+	// conflicting and out-of-range options, oversized designs, trailing
+	// garbage and empty input.
+	seeds := []string{
+		`{"design": ` + quoteJSON(design) + `}`,
+		`{"design": ` + quoteJSON(design) + `, "options": {"algorithm": "ifa", "seed": 7}}`,
+		`{"design": ` + quoteJSON(design) + `, "options": {"skip_exchange": true, "restarts": 9}}`,
+		`{"design": "circuit c\nnet a signal\n"}`,
+		``,
+		`{`,
+		`{"design"`,
+		`null`,
+		`42`,
+		`"just a string"`,
+		`{"design": 42}`,
+		`{"design": "x", "designs": "y"}`,
+		`{"design": "x", "options": {"seed": "one"}}`,
+		`{"design": "x", "options": {"budget_ms": -1}}`,
+		`{"design": "x", "options": {"restarts": 1000000}}`,
+		`{"design": "x", "options": {"algorithm": "greedy"}}`,
+		`{"design": "` + strings.Repeat("x", 5000) + `"}`,
+		`{"design": "circuit c"} {"design": "trailing"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	srv := specServer(4096)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodePlanRequest(strings.NewReader(string(data)))
+		if err != nil {
+			requireHTTPError(t, err, data)
+			return
+		}
+		spec, err := srv.canonicalize(req)
+		if err != nil {
+			requireHTTPError(t, err, data)
+			return
+		}
+		if spec.key == "" || spec.canonical == "" || spec.problem == nil {
+			t.Fatalf("accepted spec with empty parts: %+v (input %q)", spec, data)
+		}
+		// Same request → same key.
+		again, err := srv.canonicalize(req)
+		if err != nil {
+			t.Fatalf("second canonicalize rejected what the first accepted: %v (input %q)", err, data)
+		}
+		if again.key != spec.key {
+			t.Fatalf("canonicalize is unstable: %s vs %s (input %q)", spec.key, again.key, data)
+		}
+		// The canonical text is a fixed point.
+		fixed, err := srv.canonicalize(&PlanRequest{Design: spec.canonical, Options: req.Options})
+		if err != nil {
+			t.Fatalf("canonical text rejected: %v (input %q)", err, data)
+		}
+		if fixed.canonical != spec.canonical || fixed.key != spec.key {
+			t.Fatalf("canonical text is not a fixed point (input %q)", data)
+		}
+	})
+}
+
+// requireHTTPError asserts a rejection carries a client-mappable status.
+func requireHTTPError(t *testing.T, err error, input []byte) {
+	t.Helper()
+	var he *httpError
+	if !errors.As(err, &he) {
+		t.Fatalf("rejection is not an *httpError: %T %v (input %q)", err, err, input)
+	}
+	if he.status < 400 || he.status > 599 {
+		t.Fatalf("rejection status %d out of range (input %q)", he.status, input)
+	}
+	if he.msg == "" {
+		t.Fatalf("rejection without a message (input %q)", input)
+	}
+}
+
+// quoteJSON renders s as a JSON string literal for seed construction.
+func quoteJSON(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

@@ -1,0 +1,360 @@
+// Package service runs the copack planner as a long-lived HTTP/JSON
+// service: a queryable routability/IR oracle that answers many candidate
+// evaluations cheaply instead of paying a process start per plan.
+//
+// The server accepts design text in the internal/design format plus a
+// small set of planner options, runs copack.PlanContext jobs through a
+// bounded queue of workers, and returns the planned order, route stats,
+// IR-drop numbers and (on request) an obs metrics snapshot. Three
+// properties are load-bearing:
+//
+//   - Backpressure, never unbounded goroutines. Async submissions go
+//     through a fixed-depth queue; when it is full the server answers
+//     429 + Retry-After instead of queueing in memory. The synchronous
+//     /plan fast path is bounded by its own semaphore the same way.
+//
+//   - Content-addressed caching. Results are cached under
+//     hash(canonical design text + normalized options), so byte-different
+//     requests that mean the same plan (comment/whitespace differences,
+//     reordered directives that canonicalize identically, default vs
+//     explicit option values) share one cache entry. Partial results are
+//     never cached — they depend on wall-clock timing.
+//
+//   - Determinism survives the service layer. A plan is a pure function
+//     of (canonical design, normalized options); the queue order, worker
+//     count and cache state never touch it, so the same request body
+//     yields a byte-identical solution body however it is scheduled. The
+//     golden tests in http_test.go lock this down.
+//
+// See cmd/fpserved for the binary and DESIGN.md for why determinism holds
+// across queue interleavings.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"copack"
+	"copack/internal/obs"
+)
+
+// Config tunes a Server. The zero value is production-usable: every field
+// has a default chosen for a small deployment.
+type Config struct {
+	// QueueDepth bounds how many async jobs may wait for a worker;
+	// submissions beyond it are rejected with 429 + Retry-After.
+	// Default 64.
+	QueueDepth int
+	// Workers is the number of goroutines draining the job queue.
+	// Default: one per CPU (runtime.GOMAXPROCS).
+	Workers int
+	// SyncConcurrency bounds how many synchronous /plan requests may be
+	// planning at once; excess requests get 429. Default: Workers.
+	SyncConcurrency int
+	// CacheEntries bounds the content-addressed result cache (LRU).
+	// Default 128; negative disables caching.
+	CacheEntries int
+	// MaxBodyBytes bounds the request body (and so the design text).
+	// Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxBudget caps the per-job planning budget a request may ask for;
+	// larger budget_ms values are rejected with 400. Default 2 minutes.
+	MaxBudget time.Duration
+	// PlanWorkers is copack.Options.Workers for every job: the
+	// parallelism inside one plan. The planner guarantees worker-count
+	// independence, so this only trades per-job latency against cross-job
+	// throughput. Default 1 (jobs are the unit of parallelism here).
+	PlanWorkers int
+	// MaxJobsRetained bounds the finished-job history kept for polling;
+	// the oldest finished jobs are forgotten first. Default 1024.
+	MaxJobsRetained int
+	// RetryAfter is the Retry-After hint attached to 429 responses.
+	// Default 1 second.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SyncConcurrency <= 0 {
+		c.SyncConcurrency = c.Workers
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 2 * time.Minute
+	}
+	if c.PlanWorkers <= 0 {
+		c.PlanWorkers = 1
+	}
+	if c.MaxJobsRetained <= 0 {
+		c.MaxJobsRetained = 1024
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the planning service. Create one with New, mount Handler on an
+// http.Server, and call Shutdown to drain. All methods are safe for
+// concurrent use.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+
+	metrics *obs.Collector
+	rec     obs.Recorder // metrics under the service/ prefix
+
+	baseCtx    context.Context // canceled on Shutdown: running jobs wind down
+	baseCancel context.CancelFunc
+
+	queue   chan *job
+	syncSem chan struct{} // bounds concurrent synchronous /plan work
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool // no new submissions; queue is (being) closed
+	jobs     map[string]*job
+	nextID   int64
+	finished []string // finished job IDs, oldest first, for retention
+
+	// testHookJobStart, when non-nil, runs at the top of every worker
+	// job execution. Tests use it to hold workers busy so queue-full
+	// paths become deterministic. Never set in production.
+	testHookJobStart func()
+}
+
+// New builds a Server and starts its worker pool. The caller owns the
+// returned server and must Shutdown it to release the workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	col := obs.NewCollector()
+	s := &Server{
+		cfg:     cfg,
+		metrics: col,
+		rec:     obs.WithPrefix(col, "service/"),
+		queue:   make(chan *job, cfg.QueueDepth),
+		syncSem: make(chan struct{}, cfg.SyncConcurrency),
+		jobs:    make(map[string]*job),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.cache = newResultCache(cfg.CacheEntries, s.rec)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// MetricsSnapshot returns the server's current metrics (counters and
+// gauges under the service/ prefix). The JSON form is what /metrics
+// serves.
+func (s *Server) MetricsSnapshot() obs.Snapshot { return s.metrics.Snapshot() }
+
+// Shutdown drains the server: new submissions are rejected with 503,
+// running jobs are canceled so they finish promptly with their
+// best-so-far Partial results, still-queued jobs run (instantly, under
+// the canceled context) to a terminal state, and the worker pool exits.
+// It returns ctx.Err if the drain outlives ctx, nil otherwise. Shutdown
+// is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown: %w", ctx.Err())
+	}
+}
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// submit registers j and enqueues it. It returns errQueueFull when the
+// queue has no room and errDraining once Shutdown began; in both cases
+// the job was not registered.
+func (s *Server) submit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return errQueueFull
+	}
+	s.register(j)
+	s.rec.Add("jobs/submitted", 1)
+	s.rec.Set("queue/depth", float64(len(s.queue)))
+	return nil
+}
+
+// registerDone registers a job that is already terminal (a cache hit):
+// it never touches the queue.
+func (s *Server) registerDone(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errDraining
+	}
+	s.register(j)
+	s.rec.Add("jobs/submitted", 1)
+	return nil
+}
+
+// register assigns an ID and stores the job. Caller holds s.mu.
+func (s *Server) register(j *job) {
+	s.nextID++
+	j.id = fmt.Sprintf("j%08d", s.nextID)
+	s.jobs[j.id] = j
+}
+
+// lookup returns the job with the given ID, or nil.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// finish records a job reaching a terminal state and prunes the oldest
+// finished jobs beyond the retention bound so the job map cannot grow
+// without limit under sustained traffic.
+func (s *Server) finish(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.MaxJobsRetained {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.rec.Set("queue/depth", float64(len(s.queue)))
+		if s.testHookJobStart != nil {
+			s.testHookJobStart()
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one queued job to a terminal state.
+func (s *Server) runJob(j *job) {
+	if !j.begin() {
+		// Canceled while queued: terminal already.
+		s.rec.Add("jobs/canceled", 1)
+		s.finish(j)
+		return
+	}
+	body, status, errMsg := s.plan(j.ctx, j.spec)
+	switch {
+	case errMsg == "":
+		j.complete(body, status)
+		s.rec.Add("jobs/completed", 1)
+	default:
+		j.fail(status, errMsg)
+		s.rec.Add("jobs/failed", 1)
+	}
+	s.finish(j)
+}
+
+// plan runs one planning job and renders its response body. On success it
+// returns (body, 200, ""); on failure (nil, status, message). Successful
+// complete (non-Partial) results are inserted into the cache.
+func (s *Server) plan(ctx context.Context, spec *planSpec) (body []byte, status int, errMsg string) {
+	opt := copack.Options{
+		Algorithm:    spec.opts.alg,
+		DFACut:       spec.opts.cut,
+		SkipExchange: spec.opts.skip,
+		Seed:         spec.opts.seed,
+		Budget:       spec.opts.budget,
+		Workers:      s.cfg.PlanWorkers,
+		Exchange:     copack.ExchangeOptions{Restarts: spec.opts.restarts},
+	}
+	var col *obs.Collector
+	if spec.opts.metrics {
+		col = obs.NewCollector()
+		opt.Recorder = col
+	}
+	res, err := copack.PlanContext(ctx, spec.problem, opt)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, 503, fmt.Sprintf("planning canceled: %v", ctx.Err())
+		}
+		var pe *copack.PanicError
+		if errors.As(err, &pe) {
+			return nil, 500, fmt.Sprintf("internal planner fault in %s", pe.Stage)
+		}
+		return nil, 500, fmt.Sprintf("planning failed: %v", err)
+	}
+	body, err = renderResponse(spec, res, col)
+	if err != nil {
+		return nil, 500, fmt.Sprintf("rendering response: %v", err)
+	}
+	if !res.Partial {
+		s.cache.put(spec.key, body)
+	}
+	return body, 200, ""
+}
+
+// sentinel submission outcomes.
+var (
+	errQueueFull = errors.New("service: job queue full")
+	errDraining  = errors.New("service: shutting down")
+)
+
+// retryAfterSeconds renders the Retry-After hint (whole seconds, min 1).
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// version tag folded into every cache key so a change to the response
+// schema or the planning semantics invalidates old entries wholesale.
+const cacheKeyVersion = "copack-plan-v1"
+
+// optionsKey renders normalized options into the canonical cache-key
+// fragment. Workers is deliberately absent: it never changes the result.
+func (o normOptions) optionsKey() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "alg=%s cut=%d skip=%t seed=%d restarts=%d budget_ms=%d metrics=%t",
+		o.alg, o.cut, o.skip, o.seed, o.restarts, o.budget.Milliseconds(), o.metrics)
+	return sb.String()
+}
