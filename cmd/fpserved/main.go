@@ -7,6 +7,12 @@
 //
 //	fpserved -addr 127.0.0.1:8080 -queue 64 -workers 2 -cache 128
 //
+// Fleet mode joins several nodes into a fault-tolerant cluster that
+// shares one logical cache via consistent-hash routing (internal/fleet):
+//
+//	fpserved -addr 127.0.0.1:8081 -node-id a \
+//	    -peers 'b=http://127.0.0.1:8082,c=http://127.0.0.1:8083'
+//
 // Endpoints (see README "Running as a service" for a curl session):
 //
 //	GET    /healthz           liveness
@@ -32,9 +38,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"copack/internal/fleet"
 	"copack/internal/service"
 )
 
@@ -42,6 +50,35 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parsePeers turns the -peers flag ("id=url,id=url") into the fleet
+// membership map, always including self (whose URL is unused). An entry
+// for self is tolerated and ignored so every node of a fleet can share
+// one -peers value.
+func parsePeers(self, spec string) (map[string]string, error) {
+	nodes := map[string]string{self: ""}
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer entry %q is not id=url", ent)
+		}
+		if err := fleet.ValidNodeID(id); err != nil {
+			return nil, err
+		}
+		if id == self {
+			continue
+		}
+		if u == "" {
+			return nil, fmt.Errorf("peer %q has an empty URL", id)
+		}
+		nodes[id] = strings.TrimSuffix(u, "/")
+	}
+	return nodes, nil
 }
 
 // realMain parses args on a private FlagSet, serves until ctx is
@@ -62,9 +99,29 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 			"cap on the per-request planning budget (budget_ms)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second,
 			"how long a shutdown waits for in-flight jobs before giving up")
+		nodeID = fs.String("node-id", "",
+			"this node's fleet ID; enables fleet routing and prefixes job IDs")
+		peers = fs.String("peers", "",
+			"fleet peers as 'id=http://host:port,...' (requires -node-id)")
+		readHeaderTimeout = fs.Duration("read-header-timeout", 5*time.Second,
+			"http.Server ReadHeaderTimeout (slowloris protection)")
+		readTimeout = fs.Duration("read-timeout", time.Minute,
+			"http.Server ReadTimeout: full request read deadline")
+		writeTimeout = fs.Duration("write-timeout", 0,
+			"http.Server WriteTimeout (0 = max-budget plus a minute)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *peers != "" && *nodeID == "" {
+		fmt.Fprintf(stderr, "fpserved: -peers requires -node-id\n")
+		return 2
+	}
+	if *nodeID != "" {
+		if err := fleet.ValidNodeID(*nodeID); err != nil {
+			fmt.Fprintf(stderr, "fpserved: %v\n", err)
+			return 2
+		}
 	}
 
 	svc := service.New(service.Config{
@@ -74,18 +131,56 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		CacheEntries:    *cache,
 		MaxBodyBytes:    *maxBody,
 		MaxBudget:       *maxBudget,
+		NodeID:          *nodeID,
 	})
+	drain := func() {
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		svc.Shutdown(drainCtx)
+	}
+
+	handler := svc.Handler()
+	if *nodeID != "" {
+		nodes, err := parsePeers(*nodeID, *peers)
+		if err != nil {
+			fmt.Fprintf(stderr, "fpserved: -peers: %v\n", err)
+			drain()
+			return 2
+		}
+		rt, err := fleet.New(svc, fleet.Config{
+			Self:           *nodeID,
+			Nodes:          nodes,
+			AttemptTimeout: *maxBudget + 30*time.Second,
+			MaxBodyBytes:   *maxBody,
+			Recorder:       svc.MetricsRecorder(),
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "fpserved: %v\n", err)
+			drain()
+			return 2
+		}
+		handler = rt.Handler()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "fpserved: listen: %v\n", err)
 		// The workers are already up; release them before exiting.
-		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		defer cancel()
-		svc.Shutdown(drainCtx)
+		drain()
 		return 1
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	wt := *writeTimeout
+	if wt <= 0 {
+		// Long enough for the slowest in-budget plan, including a
+		// forwarded one, to finish writing.
+		wt = *maxBudget + time.Minute
+	}
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      wt,
+	}
 	fmt.Fprintf(stdout, "fpserved: listening on http://%s\n", ln.Addr())
 
 	serveErr := make(chan error, 1)

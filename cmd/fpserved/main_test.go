@@ -146,9 +146,192 @@ func TestRealMainHelp(t *testing.T) {
 	if code := realMain(context.Background(), []string{"-h"}, &stdout, &stderr); code != 2 {
 		t.Errorf("-h exit = %d, want 2", code)
 	}
-	for _, flagName := range []string{"-addr", "-queue", "-cache", "-max-budget", "-drain-timeout"} {
+	for _, flagName := range []string{"-addr", "-queue", "-cache", "-max-budget", "-drain-timeout",
+		"-node-id", "-peers", "-read-header-timeout", "-read-timeout", "-write-timeout"} {
 		if !strings.Contains(stderr.String(), flagName) {
 			t.Errorf("usage output missing %s", flagName)
+		}
+	}
+}
+
+// startServed boots realMain with args in the background and returns the
+// scraped base URL plus a stop function that cancels and waits for exit 0.
+func startServed(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain(ctx, append([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, args...),
+			&stdout, &stderr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenLine.FindStringSubmatch(stdout.String()); m != nil {
+			base := m[1]
+			return base, func() {
+				cancel()
+				select {
+				case code := <-exit:
+					if code != 0 {
+						t.Errorf("exit code %d; stderr=%q", code, stderr.String())
+					}
+				case <-time.After(15 * time.Second):
+					t.Fatal("realMain did not exit after cancel")
+				}
+			}
+		}
+		select {
+		case code := <-exit:
+			cancel()
+			t.Fatalf("realMain exited early with %d; stderr=%q", code, stderr.String())
+		default:
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	t.Fatalf("no listening line; stdout=%q stderr=%q", stdout.String(), stderr.String())
+	return "", nil
+}
+
+func servedPlanBody(t *testing.T, seed int64) []byte {
+	t.Helper()
+	tc := copack.TestCircuit{Name: "served", Fingers: 16,
+		BallSpace: 1.2, FingerW: 0.1, FingerH: 0.2, FingerSpace: 0.12}
+	p, err := copack.BuildCircuit(tc, copack.BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"design":  copack.FormatDesign(p),
+		"options": map[string]any{"seed": seed, "skip_exchange": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestParsePeers(t *testing.T) {
+	cases := []struct {
+		name, self, spec string
+		want             map[string]string
+		wantErr          bool
+	}{
+		{"empty spec", "a", "", map[string]string{"a": ""}, false},
+		{"two peers", "a", "b=http://x:1,c=http://y:2/",
+			map[string]string{"a": "", "b": "http://x:1", "c": "http://y:2"}, false},
+		{"self entry ignored", "a", "a=http://me:1,b=http://x:1",
+			map[string]string{"a": "", "b": "http://x:1"}, false},
+		{"spaces tolerated", "a", " b=http://x:1 , c=http://y:2 ",
+			map[string]string{"a": "", "b": "http://x:1", "c": "http://y:2"}, false},
+		{"missing equals", "a", "bhttp://x:1", nil, true},
+		{"empty url", "a", "b=", nil, true},
+		{"dash in id", "a", "b-2=http://x:1", nil, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := parsePeers(c.self, c.spec)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("parsePeers(%q) accepted, got %v", c.spec, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parsePeers(%q): %v", c.spec, err)
+			}
+			if len(got) != len(c.want) {
+				t.Fatalf("got %v, want %v", got, c.want)
+			}
+			for k, v := range c.want {
+				if got[k] != v {
+					t.Errorf("node %s = %q, want %q", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestRealMainFleetFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"peers without node-id", []string{"-peers", "b=http://x:1"}, "-peers requires -node-id"},
+		{"dash in node-id", []string{"-node-id", "a-1"}, "node ID"},
+		{"bad peer entry", []string{"-node-id", "a", "-peers", "nope"}, "id=url"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr syncBuffer
+			if code := realMain(context.Background(), c.args, &stdout, &stderr); code != 2 {
+				t.Errorf("exit = %d, want 2", code)
+			}
+			if !strings.Contains(stderr.String(), c.want) {
+				t.Errorf("stderr %q lacks %q", stderr.String(), c.want)
+			}
+		})
+	}
+}
+
+// TestRealMainSingleNodeFleet boots fleet mode with no peers: a one-node
+// ring serves everything locally, with prefixed job IDs.
+func TestRealMainSingleNodeFleet(t *testing.T) {
+	base, stop := startServed(t, "-node-id", "solo")
+	defer stop()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/jobs", "application/json", bytes.NewReader(servedPlanBody(t, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sub.ID, "solo-j") {
+		t.Errorf("job id %q lacks the solo- prefix", sub.ID)
+	}
+}
+
+// TestRealMainDeadPeerDegradesLocal points a node at a peer that was
+// never started: every request — including ones the dead peer owns —
+// must still answer 200 by failing over to local computation.
+func TestRealMainDeadPeerDegradesLocal(t *testing.T) {
+	// 127.0.0.1:1 is reserved and refuses connections immediately.
+	base, stop := startServed(t, "-node-id", "a", "-peers", "b=http://127.0.0.1:1")
+	defer stop()
+
+	// A handful of seeds guarantees some keys hash to the dead peer b.
+	for seed := int64(0); seed < 6; seed++ {
+		resp, err := http.Post(base+"/plan", "application/json", bytes.NewReader(servedPlanBody(t, seed)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: %d: %s", seed, resp.StatusCode, data)
+		}
+		if got := resp.Header.Get("X-Copack-Node"); got != "a" {
+			t.Errorf("seed %d answered by %q, want a", seed, got)
 		}
 	}
 }

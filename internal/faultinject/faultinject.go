@@ -46,6 +46,31 @@ const (
 	PlanStage Point = "copack.plan-stage"
 )
 
+// Network-level injection sites for the fleet's forwarding proxy
+// (internal/fleet). Unlike the pipeline sites above these are per-peer:
+// the Point is derived from the target node's ID, so a test can kill or
+// degrade exactly one node of a fleet while the others stay healthy. The
+// proxy transport fires them in connection order — dial, then latency,
+// then response-body truncation — and each simulated fault is fully
+// deterministic: no real sockets misbehave and no clock is consulted.
+
+// FleetDial returns the injection point the proxy fires before dialing
+// peer. An injected error is surfaced as a connection-refused dial
+// failure, the signature of a dead or restarting node.
+func FleetDial(peer string) Point { return Point("fleet.net-dial/" + peer) }
+
+// FleetLatency returns the injection point fired after the (simulated)
+// dial succeeds. An injected error is surfaced as the attempt's deadline
+// expiring — a peer that accepted the connection but never answered —
+// without any real waiting.
+func FleetLatency(peer string) Point { return Point("fleet.net-latency/" + peer) }
+
+// FleetTruncate returns the injection point fired on a successful
+// response from peer. An injected error cuts the response body after a
+// short prefix so the reader sees io.ErrUnexpectedEOF mid-body — a
+// connection dropped while streaming the result.
+func FleetTruncate(peer string) Point { return Point("fleet.net-truncate/" + peer) }
+
 // ErrInjected is the default error Fire returns when an armed fault with a
 // nil Err fires.
 var ErrInjected = errors.New("faultinject: injected fault")

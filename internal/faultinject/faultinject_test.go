@@ -82,3 +82,30 @@ func TestResetDisarms(t *testing.T) {
 		t.Errorf("Fire after Reset returned %v", err)
 	}
 }
+
+func TestFleetPointsArePerPeer(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	// Killing one peer must not touch the others, and the three network
+	// fault kinds at the same peer must stay independent.
+	Arm(Fault{Point: FleetDial("b"), Repeat: true})
+	if err := Fire(FleetDial("b")); err == nil {
+		t.Fatal("armed peer did not fire")
+	}
+	if err := Fire(FleetDial("c")); err != nil {
+		t.Fatalf("unarmed peer fired: %v", err)
+	}
+	if err := Fire(FleetLatency("b")); err != nil {
+		t.Fatalf("latency point fired off the dial arm: %v", err)
+	}
+	if err := Fire(FleetTruncate("b")); err != nil {
+		t.Fatalf("truncate point fired off the dial arm: %v", err)
+	}
+	names := map[Point]bool{
+		FleetDial("b"): true, FleetLatency("b"): true, FleetTruncate("b"): true,
+		FleetDial("c"): true,
+	}
+	if len(names) != 4 {
+		t.Errorf("fleet points collide: %v", names)
+	}
+}

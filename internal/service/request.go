@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -215,6 +216,23 @@ func (s *Server) canonicalize(req *PlanRequest) (*planSpec, error) {
 		opts:      opts,
 		key:       hex.EncodeToString(h.Sum(nil)),
 	}, nil
+}
+
+// SpecKey parses, validates and canonicalizes a raw PlanRequest body and
+// returns its content address — the exact key the result cache uses. The
+// fleet router calls this to decide which node owns a request without
+// running the plan; failures are the same typed *httpError values the
+// HTTP handlers map.
+func (s *Server) SpecKey(body []byte) (string, error) {
+	req, err := decodePlanRequest(bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	spec, err := s.canonicalize(req)
+	if err != nil {
+		return "", err
+	}
+	return spec.key, nil
 }
 
 // classifyDesignError maps a design read failure onto HTTP semantics:

@@ -73,9 +73,15 @@ type Config struct {
 	// MaxJobsRetained bounds the finished-job history kept for polling;
 	// the oldest finished jobs are forgotten first. Default 1024.
 	MaxJobsRetained int
-	// RetryAfter is the Retry-After hint attached to 429 responses.
-	// Default 1 second.
+	// RetryAfter is the base Retry-After hint attached to 429 responses;
+	// the rendered hint scales up with current queue depth (see
+	// retryAfterSeconds). Default 1 second.
 	RetryAfter time.Duration
+	// NodeID, when set, prefixes job IDs ("a-j00000042") so a fleet
+	// router (internal/fleet) can route job polls to the node that owns
+	// the state. Must not contain '-'. Empty means standalone: plain
+	// "j00000042" IDs.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -236,7 +242,11 @@ func (s *Server) registerDone(j *job) error {
 // register assigns an ID and stores the job. Caller holds s.mu.
 func (s *Server) register(j *job) {
 	s.nextID++
-	j.id = fmt.Sprintf("j%08d", s.nextID)
+	if s.cfg.NodeID != "" {
+		j.id = fmt.Sprintf("%s-j%08d", s.cfg.NodeID, s.nextID)
+	} else {
+		j.id = fmt.Sprintf("j%08d", s.nextID)
+	}
 	s.jobs[j.id] = j
 }
 
@@ -338,13 +348,25 @@ var (
 )
 
 // retryAfterSeconds renders the Retry-After hint (whole seconds, min 1).
+// The configured base scales with current queue pressure — an idle queue
+// hints the base, a full queue hints 5× it — so clients back off hardest
+// exactly when the server is deepest in work.
 func (s *Server) retryAfterSeconds() string {
-	secs := int(s.cfg.RetryAfter / time.Second)
-	if secs < 1 {
-		secs = 1
+	base := int(s.cfg.RetryAfter / time.Second)
+	if base < 1 {
+		base = 1
+	}
+	secs := base
+	if s.cfg.QueueDepth > 0 {
+		secs = base * (1 + 4*len(s.queue)/s.cfg.QueueDepth)
 	}
 	return fmt.Sprintf("%d", secs)
 }
+
+// MetricsRecorder returns a Recorder writing into the collector /metrics
+// serves. The fleet router threads its counters through it so
+// retry/failover/breaker activity shows up in the node's own snapshot.
+func (s *Server) MetricsRecorder() obs.Recorder { return s.metrics }
 
 // version tag folded into every cache key so a change to the response
 // schema or the planning semantics invalidates old entries wholesale.
