@@ -3,12 +3,17 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
 	"time"
 
+	"copack/internal/anneal"
 	"copack/internal/assign"
+	"copack/internal/bga"
+	"copack/internal/core"
 	"copack/internal/exchange"
 	"copack/internal/exp"
 	"copack/internal/gen"
@@ -21,11 +26,21 @@ import (
 var (
 	benchWorkerCounts = []int{1, 2, 4, 8}
 	benchPricingMoves = 2_000_000
+	// Large-tier knobs: the IR grid edge (odd, so the multigrid hierarchy
+	// is deep), the circuit generator and the annealing schedule. The CI
+	// smoke shrinks all three; the committed BENCH uses the defaults.
+	benchLargeGridN    = 513
+	benchLargeCircuit  = gen.Large
+	benchLargeSchedule = anneal.Schedule{InitialTemp: 0.5, FinalTemp: 1e-2, Cooling: 0.8, MovesPerTemp: 50_000}
 )
 
 // benchEntry is one timed (surface, workers) measurement. NsPerMove and
 // AllocsPerMove are only set for the exchange/move-pricing entry, which
 // measures the annealer's hot loop rather than a parallel surface.
+// AllocsPerOp and BytesPerOp are heap-counter deltas over the single timed
+// run of the entry (runtime.MemStats Mallocs/TotalAlloc), recorded for
+// every entry so the allocation-discipline work is pinned in the
+// trajectory files.
 type benchEntry struct {
 	Name       string  `json:"name"`
 	Workers    int     `json:"workers"`
@@ -35,6 +50,8 @@ type benchEntry struct {
 	// AllocsPerMove is a pointer so the pricing entry records an explicit
 	// 0 (the invariant under test) while the surface entries omit it.
 	AllocsPerMove *float64 `json:"allocs_per_move,omitempty"`
+	AllocsPerOp   float64  `json:"allocs_per_op"`
+	BytesPerOp    float64  `json:"bytes_per_op"`
 }
 
 // benchReport is the BENCH_<date>.json schema. CPUs and GoMaxProcs are
@@ -44,6 +61,7 @@ type benchReport struct {
 	GoVersion  string       `json:"go_version"`
 	CPUs       int          `json:"cpus"`
 	GoMaxProcs int          `json:"gomaxprocs"`
+	Size       string       `json:"size,omitempty"`
 	Entries    []benchEntry `json:"entries"`
 	// SolverInternals holds the obs telemetry snapshot of each surface's
 	// workers=1 run (solver iterations, residuals, per-restart anneal
@@ -54,26 +72,50 @@ type benchReport struct {
 	SolverInternals map[string]*obs.Snapshot `json:"solver_internals,omitempty"`
 }
 
-// runBench times the three parallelized surfaces — multi-start exchange,
-// large-grid IR solve and the Table 2 harness — at 1, 2, 4 and 8 workers,
-// plus the annealer's per-move pricing rate. Every variant computes
-// identical results; only wall clock varies. With jsonOut it writes
-// BENCH_<date>.json into outDir (BENCH_<date>-<tag>.json with a non-empty
-// tag, so a rerun can sit beside a same-day baseline).
-func runBench(outDir string, jsonOut bool, tag string) error {
-	rep := &benchReport{
-		Date:            time.Now().Format("2006-01-02"),
-		GoVersion:       runtime.Version(),
-		CPUs:            runtime.NumCPU(),
-		GoMaxProcs:      runtime.GOMAXPROCS(0),
-		SolverInternals: map[string]*obs.Snapshot{},
-	}
-	workerCounts := benchWorkerCounts
+// benchSurface is one parallel surface: run executes it at a worker count
+// and returns a determinism fingerprint of its output. runBench requires
+// the fingerprint of every workers>1 pass to equal the workers=1 one — the
+// bench doubles as the cross-worker byte-identity gate, so a determinism
+// regression cannot produce a BENCH file at all.
+type benchSurface struct {
+	name string
+	run  func(workers int, rec obs.Recorder) (string, error)
+}
 
+// fingerprintAssignment hashes a full slot assignment.
+func fingerprintAssignment(a *core.Assignment) string {
+	h := fnv.New64a()
+	for _, side := range bga.Sides() {
+		for _, id := range a.Slots[side] {
+			fmt.Fprintf(h, "%d,", id)
+		}
+		fmt.Fprint(h, ";")
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// fingerprintFloats hashes a float64 field bit for bit.
+func fingerprintFloats(vs []float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vs {
+		bits := math.Float64bits(v)
+		for k := 0; k < 8; k++ {
+			buf[k] = byte(bits >> (8 * k))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// defaultSurfaces are the paper-scale parallel surfaces benched since the
+// first BENCH file: multi-start exchange, the 96×96 IR solve and the
+// Table 2 harness.
+func defaultSurfaces() ([]benchSurface, error) {
 	p := gen.MustBuild(gen.Table1()[2], gen.Options{Seed: 1, Tiers: 4})
 	dfaA, err := assign.DFA(p, assign.DFAOptions{})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	g := power.GridSpec{
 		Nx: 96, Ny: 96, Width: 100, Height: 100,
@@ -83,71 +125,183 @@ func runBench(outDir string, jsonOut bool, tag string) error {
 	for i := 0; i < g.Nx; i += 7 {
 		pads = append(pads, power.Pad{I: i, J: 0}, power.Pad{I: i, J: g.Ny - 1})
 	}
+	return []benchSurface{
+		{"exchange/restarts4", func(w int, rec obs.Recorder) (string, error) {
+			res, err := exchange.Run(p, dfaA, exchange.Options{Seed: 1, Restarts: 4, Workers: w, Recorder: rec})
+			if err != nil {
+				return "", err
+			}
+			return fingerprintAssignment(res.Assignment), nil
+		}},
+		{"power/solve96x96", func(w int, rec obs.Recorder) (string, error) {
+			s, err := power.Solve(g, pads, power.SolveOptions{Workers: w, Recorder: rec})
+			if err != nil {
+				return "", err
+			}
+			return fingerprintFloats(s.V), nil
+		}},
+		{"exp/table2", func(w int, rec obs.Recorder) (string, error) {
+			res, err := exp.Table2With(1, 10, exp.Harness{Workers: w})
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+	}, nil
+}
 
-	// Each surface optionally takes a Recorder; runBench attaches one on
-	// the workers=1 pass and merges the snapshot into the report. rec is
-	// nil on the other passes, which the obs layer treats as "off".
-	surfaces := []struct {
-		name string
-		run  func(workers int, rec obs.Recorder) error
-	}{
-		{"exchange/restarts4", func(w int, rec obs.Recorder) error {
-			_, err := exchange.Run(p, dfaA, exchange.Options{Seed: 1, Restarts: 4, Workers: w, Recorder: rec})
-			return err
+// largeSurfaces is the 100k+-net scaling tier: the 513×513 IR grid solved
+// by CG, multigrid and multigrid-preconditioned CG at the same tolerance
+// (the mg-vs-cg wall-clock ratio is the tier's headline number), and the
+// annealer on the gen.Large circuit. Entry names carry the nominal "512"
+// tier label; the actual grid is 2⁹+1 per side, the vertex-centered size
+// the multigrid hierarchy coarsens all the way down.
+func largeSurfaces() ([]benchSurface, error) {
+	p := gen.MustBuild(benchLargeCircuit(), gen.Options{Seed: 1})
+	dfaA, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		return nil, err
+	}
+	n := benchLargeGridN
+	g := power.GridSpec{
+		Nx: n, Ny: n, Width: 1000, Height: 1000,
+		RsX: 0.05, RsY: 0.05, Vdd: 1.0, CurrentDensity: 1e-5,
+	}
+	var pads []power.Pad
+	for i := 0; i < n; i += 8 {
+		pads = append(pads,
+			power.Pad{I: i, J: 0}, power.Pad{I: i, J: n - 1},
+			power.Pad{I: 0, J: i}, power.Pad{I: n - 1, J: i})
+	}
+	mkPower := func(m power.Method) func(int, obs.Recorder) (string, error) {
+		return func(w int, rec obs.Recorder) (string, error) {
+			s, err := power.Solve(g, pads, power.SolveOptions{Method: m, Workers: w, Recorder: rec})
+			if err != nil {
+				return "", err
+			}
+			if !s.Converged {
+				return "", fmt.Errorf("solver stopped: %s (residual %.3e)", s.Stopped, s.Residual)
+			}
+			return fingerprintFloats(s.V), nil
+		}
+	}
+	return []benchSurface{
+		{"power/cg512", mkPower(power.CG)},
+		{"power/mg512", mkPower(power.MG)},
+		{"power/mgcg512", mkPower(power.MGCG)},
+		{"exchange/largeN", func(w int, rec obs.Recorder) (string, error) {
+			res, err := exchange.Run(p, dfaA, exchange.Options{
+				Seed: 1, Restarts: 4, Workers: w,
+				Schedule: benchLargeSchedule, Recorder: rec,
+			})
+			if err != nil {
+				return "", err
+			}
+			return fingerprintAssignment(res.Assignment), nil
 		}},
-		{"power/solve96x96", func(w int, rec obs.Recorder) error {
-			_, err := power.Solve(g, pads, power.SolveOptions{Workers: w, Recorder: rec})
+	}, nil
+}
+
+// runBench times the parallelized surfaces at 1, 2, 4 and 8 workers, plus
+// the annealer's per-move pricing rate. Every variant computes identical
+// results — runBench fails if any worker count's output fingerprint
+// diverges from the workers=1 run. size selects the tier: "default" is the
+// paper-scale set, "large" appends the 100k-net/513-grid scaling tier.
+// With jsonOut it writes BENCH_<date>.json into outDir
+// (BENCH_<date>-<tag>.json with a non-empty tag, so a rerun can sit beside
+// a same-day baseline).
+func runBench(outDir string, jsonOut bool, tag, size string) error {
+	rep := &benchReport{
+		Date:            time.Now().Format("2006-01-02"),
+		GoVersion:       runtime.Version(),
+		CPUs:            runtime.NumCPU(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Size:            size,
+		SolverInternals: map[string]*obs.Snapshot{},
+	}
+	surfaces, err := defaultSurfaces()
+	if err != nil {
+		return err
+	}
+	switch size {
+	case "", "default":
+		rep.Size = "default"
+	case "large":
+		ls, err := largeSurfaces()
+		if err != nil {
 			return err
-		}},
-		{"exp/table2", func(w int, rec obs.Recorder) error {
-			_, err := exp.Table2With(1, 10, exp.Harness{Workers: w})
-			return err
-		}},
+		}
+		surfaces = append(surfaces, ls...)
+	default:
+		return fmt.Errorf("unknown -size %q (want default or large)", size)
 	}
 
-	fmt.Printf("== Parallel speedup (%d CPUs, GOMAXPROCS=%d, %s) ==\n",
-		rep.CPUs, rep.GoMaxProcs, rep.GoVersion)
+	fmt.Printf("== Parallel speedup (%d CPUs, GOMAXPROCS=%d, %s, size=%s) ==\n",
+		rep.CPUs, rep.GoMaxProcs, rep.GoVersion, rep.Size)
+	var ms0, ms1 runtime.MemStats
 	for _, s := range surfaces {
 		var base float64
-		for _, w := range workerCounts {
+		var baseFP string
+		for _, w := range benchWorkerCounts {
 			var col *obs.Collector
 			var rec obs.Recorder
 			if w == 1 {
 				col = obs.NewCollector()
 				rec = col
 			}
+			runtime.ReadMemStats(&ms0)
 			start := time.Now()
-			if err := s.run(w, rec); err != nil {
+			fp, err := s.run(w, rec)
+			if err != nil {
 				return fmt.Errorf("%s workers=%d: %v", s.name, w, err)
 			}
 			secs := time.Since(start).Seconds()
+			runtime.ReadMemStats(&ms1)
 			if w == 1 {
-				base = secs
+				base, baseFP = secs, fp
 				if snap := col.Snapshot(); len(snap.Keys()) > 0 {
 					rep.SolverInternals[s.name] = &snap
 				}
+			} else if fp != baseFP {
+				return fmt.Errorf("%s: workers=%d output fingerprint %s differs from workers=1 %s (determinism broken)",
+					s.name, w, fp, baseFP)
 			}
-			e := benchEntry{Name: s.name, Workers: w, Seconds: secs}
+			e := benchEntry{
+				Name: s.name, Workers: w, Seconds: secs,
+				AllocsPerOp: float64(ms1.Mallocs - ms0.Mallocs),
+				BytesPerOp:  float64(ms1.TotalAlloc - ms0.TotalAlloc),
+			}
 			if base > 0 {
 				e.SpeedupVs1 = base / secs
 			}
 			rep.Entries = append(rep.Entries, e)
-			fmt.Printf("%-20s workers=%d: %8.3fs  (%.2fx vs 1)\n", s.name, w, e.Seconds, e.SpeedupVs1)
+			fmt.Printf("%-20s workers=%d: %8.3fs  (%.2fx vs 1, %.0f allocs)\n",
+				s.name, w, e.Seconds, e.SpeedupVs1, e.AllocsPerOp)
 		}
 	}
 
 	// Hot-loop rate: how fast the annealer can price adjacent swaps, and
 	// that doing so allocates nothing.
+	p := gen.MustBuild(gen.Table1()[2], gen.Options{Seed: 1, Tiers: 4})
+	dfaA, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		return err
+	}
 	pricingMoves := benchPricingMoves
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	ps, err := exchange.PricingBench(p, dfaA, exchange.Options{Seed: 1}, pricingMoves)
 	if err != nil {
 		return fmt.Errorf("move-pricing: %v", err)
 	}
+	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
 	rep.Entries = append(rep.Entries, benchEntry{
 		Name: "exchange/move-pricing", Workers: 1,
-		Seconds: time.Since(start).Seconds(), SpeedupVs1: 1,
+		Seconds: secs, SpeedupVs1: 1,
 		NsPerMove: ps.NsPerMove, AllocsPerMove: &ps.AllocsPerMove,
+		AllocsPerOp: float64(ms1.Mallocs - ms0.Mallocs),
+		BytesPerOp:  float64(ms1.TotalAlloc - ms0.TotalAlloc),
 	})
 	fmt.Printf("%-20s %.1f ns/move, %.3f allocs/move (%d moves)\n",
 		"exchange/move-pricing", ps.NsPerMove, ps.AllocsPerMove, pricingMoves)

@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"copack/internal/anneal"
+	"copack/internal/gen"
 )
 
 // shrinkBench makes runBench finish in test time: one worker count and a
@@ -57,9 +60,17 @@ func TestBenchJSONSchemaRoundTrip(t *testing.T) {
 		if e.Seconds < 0 {
 			t.Errorf("entry %s workers=%d has negative Seconds", e.Name, e.Workers)
 		}
+		if e.BytesPerOp <= 0 {
+			t.Errorf("entry %s workers=%d: bytes_per_op = %v, want > 0", e.Name, e.Workers, e.BytesPerOp)
+		}
 		if e.Name == "exchange/move-pricing" {
 			pricing = e
 		}
+	}
+	// The alloc columns are part of the schema proper, not an omitempty
+	// extra: every entry carries them even when zero.
+	if n := bytes.Count(data, []byte(`"allocs_per_op"`)); n != len(rep.Entries) {
+		t.Errorf("allocs_per_op appears %d times, want %d (one per entry)", n, len(rep.Entries))
 	}
 	if pricing == nil {
 		t.Fatal("no exchange/move-pricing entry")
@@ -106,6 +117,88 @@ func TestBenchJSONSchemaRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(append(again, '\n'), data) {
 		t.Error("BENCH json is not a lossless round-trip through benchReport")
+	}
+}
+
+// shrinkLargeTier swaps the large-tier knobs for versions that finish in
+// test time: a 65×65 grid (still a full multigrid hierarchy, 65 = 2⁶+1), a
+// few-hundred-finger circuit through the same generator geometry, and a
+// short cooling schedule. The code path — solver selection, fingerprint
+// comparison, JSON schema — is identical to the committed large bench.
+func shrinkLargeTier(t *testing.T) {
+	t.Helper()
+	oldN, oldC, oldS := benchLargeGridN, benchLargeCircuit, benchLargeSchedule
+	benchLargeGridN = 65
+	benchLargeCircuit = func() gen.TestCircuit {
+		c := gen.Large()
+		c.Fingers = 512
+		return c
+	}
+	benchLargeSchedule = anneal.Schedule{InitialTemp: 0.5, FinalTemp: 0.1, Cooling: 0.5, MovesPerTemp: 200}
+	t.Cleanup(func() { benchLargeGridN, benchLargeCircuit, benchLargeSchedule = oldN, oldC, oldS })
+}
+
+// The large tier must produce the full surface set — CG, MG and MGCG on
+// the same grid plus the large-N exchange — with the alloc columns filled
+// and the same lossless round-trip as the default tier.
+func TestBenchLargeTierSmoke(t *testing.T) {
+	shrinkBench(t)
+	shrinkLargeTier(t)
+	dir := t.TempDir()
+	var code int
+	captureStdout(t, func() {
+		code = realMain([]string{"-bench", "-json", "-size", "large", "-benchtag", "largesmoke", "-out", dir})
+	})
+	if code != 0 {
+		t.Fatalf("realMain(-bench -size large) = %d, want 0", code)
+	}
+
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*-largesmoke.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected exactly one tagged BENCH json, got %v (err %v)", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("large BENCH json does not round-trip into benchReport: %v", err)
+	}
+	if rep.Size != "large" {
+		t.Errorf("report size %q, want large", rep.Size)
+	}
+	// 3 default + 4 large surfaces per worker count, plus move-pricing.
+	wantEntries := 7*len(benchWorkerCounts) + 1
+	if len(rep.Entries) != wantEntries {
+		t.Errorf("%d entries, want %d", len(rep.Entries), wantEntries)
+	}
+	perSurface := map[string]int{}
+	for _, e := range rep.Entries {
+		perSurface[e.Name]++
+	}
+	for _, name := range []string{"power/cg512", "power/mg512", "power/mgcg512", "exchange/largeN"} {
+		if perSurface[name] != len(benchWorkerCounts) {
+			t.Errorf("surface %s has %d entries, want %d", name, perSurface[name], len(benchWorkerCounts))
+		}
+		if snap := rep.SolverInternals[name]; snap == nil || len(snap.Keys()) == 0 {
+			t.Errorf("solver_internals missing %q", name)
+		}
+	}
+	again, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(again, '\n'), data) {
+		t.Error("large BENCH json is not a lossless round-trip through benchReport")
+	}
+}
+
+// An unknown tier is a usage error, not a silent fallback.
+func TestBenchUnknownSize(t *testing.T) {
+	shrinkBench(t)
+	if got := realMain([]string{"-bench", "-size", "jumbo", "-out", t.TempDir()}); got != 1 {
+		t.Errorf("realMain(-bench -size jumbo) = %d, want 1", got)
 	}
 }
 

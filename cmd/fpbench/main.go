@@ -38,21 +38,22 @@ func main() {
 func realMain(args []string) int {
 	fs := flag.NewFlagSet("fpbench", flag.ContinueOnError)
 	var (
-		table    = fs.Int("table", 0, "regenerate a table (1, 2 or 3)")
-		fig      = fs.Int("fig", 0, "regenerate a figure (5, 6, 13 or 15)")
-		all      = fs.Bool("all", false, "regenerate everything")
-		seed     = fs.Int64("seed", 1, "random seed")
-		out      = fs.String("out", ".", "directory for SVG artifacts")
-		quick    = fs.Bool("quick", false, "faster, lower-fidelity Fig 6")
-		sweep    = fs.Int("sweep", 0, "re-run Table 2 over this many seeds and report ratio distributions")
-		sweep3   = fs.Int("sweep3", 0, "re-run Table 3 over this many seeds and report improvement distributions")
-		flipchip = fs.Bool("flipchip", false, "compare wire-bond vs flip-chip IR-drop (the paper's §2.4 motivation)")
-		workers  = fs.Int("workers", runtime.NumCPU(), "worker pool size for tables, sweeps and -bench (results are identical for any value)")
-		bench    = fs.Bool("bench", false, "time the parallel surfaces at 1/2/4/8 workers")
-		jsonOut  = fs.Bool("json", false, "with -bench: also write BENCH_<date>.json to -out")
-		benchTag = fs.String("benchtag", "", "with -bench -json: suffix the output file BENCH_<date>-<tag>.json")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
-		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
+		table     = fs.Int("table", 0, "regenerate a table (1, 2 or 3)")
+		fig       = fs.Int("fig", 0, "regenerate a figure (5, 6, 13 or 15)")
+		all       = fs.Bool("all", false, "regenerate everything")
+		seed      = fs.Int64("seed", 1, "random seed")
+		out       = fs.String("out", ".", "directory for SVG artifacts")
+		quick     = fs.Bool("quick", false, "faster, lower-fidelity Fig 6")
+		sweep     = fs.Int("sweep", 0, "re-run Table 2 over this many seeds and report ratio distributions")
+		sweep3    = fs.Int("sweep3", 0, "re-run Table 3 over this many seeds and report improvement distributions")
+		flipchip  = fs.Bool("flipchip", false, "compare wire-bond vs flip-chip IR-drop (the paper's §2.4 motivation)")
+		workers   = fs.Int("workers", runtime.NumCPU(), "worker pool size for tables, sweeps and -bench (results are identical for any value)")
+		bench     = fs.Bool("bench", false, "time the parallel surfaces at 1/2/4/8 workers")
+		jsonOut   = fs.Bool("json", false, "with -bench: also write BENCH_<date>.json to -out")
+		benchTag  = fs.String("benchtag", "", "with -bench -json: suffix the output file BENCH_<date>-<tag>.json")
+		benchSize = fs.String("size", "default", "with -bench: surface tier (default, or large for the 100k-net/513-grid scaling tier)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -239,7 +240,7 @@ func realMain(args []string) int {
 	}
 	if *bench {
 		any = true
-		run("bench", func() error { return runBench(*out, *jsonOut, *benchTag) })
+		run("bench", func() error { return runBench(*out, *jsonOut, *benchTag, *benchSize) })
 	}
 	if !any {
 		fs.Usage()

@@ -1,0 +1,138 @@
+package assign
+
+import (
+	"testing"
+
+	"copack/internal/bga"
+	"copack/internal/gen"
+	"copack/internal/netlist"
+)
+
+// legacyDFAQuadrant is the pre-Fenwick O(n²) reference implementation,
+// kept verbatim as the differential oracle: the rewrite must reproduce it
+// slot for slot, including the defensive clamp.
+func legacyDFAQuadrant(q *bga.Quadrant, opt DFAOptions) []netlist.ID {
+	cut := opt.Cut
+	if cut < 1 {
+		cut = 1
+	}
+	total := q.NumNets()
+	order := make([]netlist.ID, total)
+	assigned := make([]bool, total)
+	nonAlloc := total
+	for y := q.NumRows(); y >= 1; y-- {
+		row := occupiedRow(q, y)
+		m := len(row)
+		if m == 0 {
+			continue
+		}
+		sites := q.Row(y).Sites()
+		di := float64(nonAlloc-m) / float64(sites+cut)
+		if di < 0 {
+			di = 0
+		}
+		for x := 1; x <= m; x++ {
+			en := int(float64(x) * di)
+			slot, seen, last := -1, 0, -1
+			for i := 0; i < total; i++ {
+				if assigned[i] {
+					continue
+				}
+				last = i
+				seen++
+				if seen == en+1 {
+					slot = i
+					break
+				}
+			}
+			if slot < 0 {
+				slot = last
+			}
+			order[slot] = row[x-1]
+			assigned[slot] = true
+		}
+		nonAlloc -= m
+	}
+	return order
+}
+
+// The Fenwick DFA must be byte-identical to the legacy slot walk across
+// shapes, seeds, cut values and quadrants — this is what lets the golden
+// exchange hashes survive the rewrite untouched.
+func TestDFAFenwickMatchesLegacy(t *testing.T) {
+	shapes := []gen.TestCircuit{
+		{Name: "tiny", Fingers: 16, BallSpace: 1, FingerW: 0.1, FingerH: 0.1, FingerSpace: 0.1},
+		{Name: "mid", Fingers: 64, BallSpace: 1, FingerW: 0.1, FingerH: 0.1, FingerSpace: 0.1},
+		{Name: "big", Fingers: 192, BallSpace: 1, FingerW: 0.1, FingerH: 0.1, FingerSpace: 0.1},
+	}
+	var s Scratch // shared deliberately: reuse must not leak state between calls
+	for _, sh := range shapes {
+		for seed := int64(0); seed < 6; seed++ {
+			p := gen.MustBuild(sh, gen.Options{Seed: seed})
+			for _, side := range bga.Sides() {
+				q := p.Pkg.Quadrant(side)
+				for _, cut := range []int{0, 1, 2, 5} {
+					opt := DFAOptions{Cut: cut}
+					want := legacyDFAQuadrant(q, opt)
+					for name, got := range map[string][]netlist.ID{
+						"fresh":   DFAQuadrant(q, opt),
+						"scratch": DFAQuadrantScratch(q, opt, &s),
+					} {
+						if len(got) != len(want) {
+							t.Fatalf("%s/%d/%v cut=%d %s: len %d want %d", sh.Name, seed, side, cut, name, len(got), len(want))
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("%s/%d/%v cut=%d %s: slot %d = %d, legacy %d",
+									sh.Name, seed, side, cut, name, i, got[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Bottom-heavy instances push EN into the clamp; the Fenwick select must
+// clamp to the last open slot exactly like the legacy walk.
+func TestDFAFenwickClampMatchesLegacy(t *testing.T) {
+	q, err := bga.NewQuadrant(bga.Bottom, []bga.Row{
+		{Nets: []netlist.ID{0}},
+		{Nets: []netlist.ID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 3} {
+		want := legacyDFAQuadrant(q, DFAOptions{Cut: cut})
+		got := DFAQuadrant(q, DFAOptions{Cut: cut})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cut=%d slot %d = %d, legacy %d", cut, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// With a reused Scratch, a DFA quadrant pass allocates exactly once: the
+// returned order. This is the assignment-side extension of the exchange
+// loop's 0-allocs/move discipline.
+func TestDFAQuadrantScratchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	p := gen.MustBuild(gen.TestCircuit{
+		Name: "alloc", Fingers: 256, BallSpace: 1,
+		FingerW: 0.1, FingerH: 0.1, FingerSpace: 0.1,
+	}, gen.Options{Seed: 1})
+	q := p.Pkg.Quadrant(bga.Bottom)
+	var s Scratch
+	DFAQuadrantScratch(q, DFAOptions{}, &s) // warm the arena
+	allocs := testing.AllocsPerRun(100, func() {
+		DFAQuadrantScratch(q, DFAOptions{}, &s)
+	})
+	if allocs > 1 {
+		t.Errorf("DFAQuadrantScratch allocates %v times per run, want ≤1 (the order slice)", allocs)
+	}
+}

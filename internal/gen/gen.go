@@ -11,6 +11,8 @@
 package gen
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 
@@ -39,6 +41,43 @@ func Table1() []TestCircuit {
 		{Name: "circuit4", Fingers: 352, BallSpace: 1.2, FingerW: 0.1, FingerH: 0.2, FingerSpace: 0.12},
 		{Name: "circuit5", Fingers: 448, BallSpace: 1.2, FingerW: 0.1, FingerH: 0.2, FingerSpace: 0.12},
 	}
+}
+
+// Large returns the synthetic large-N scaling circuit: 102400 fingers
+// (25600 nets per quadrant), far beyond Table 1's 448-finger maximum. The
+// geometric parameters reuse circuit5's, since nothing in the assignment or
+// density model depends on net count and absolute dimensions together; the
+// point of this tier is to exercise the O(n log n) assignment, the windowed
+// density tracking and the parallel layer at a size where asymptotics, not
+// constants, dominate. Build it with a seeded Options like any Table 1 row.
+func Large() TestCircuit {
+	return TestCircuit{Name: "large", Fingers: 102400, BallSpace: 1.2, FingerW: 0.1, FingerH: 0.2, FingerSpace: 0.12}
+}
+
+// Fingerprint returns a hex SHA-256 over a canonical encoding of a problem:
+// the netlist in its text format followed by every quadrant's ball rows in
+// order. Two problems fingerprint equal iff the assignment pipeline sees
+// identical inputs, which is what the large-tier determinism tests and the
+// bench harness pin across runs and GOMAXPROCS settings.
+func Fingerprint(p *core.Problem) string {
+	h := sha256.New()
+	if err := netlist.Write(h, p.Circuit); err != nil {
+		// sha256.digest never errors; a failure means the circuit is
+		// structurally broken, which NewProblem has already excluded.
+		panic(err)
+	}
+	for _, side := range bga.Sides() {
+		q := p.Pkg.Quadrant(side)
+		fmt.Fprintf(h, "quadrant %v rows=%d\n", side, q.NumRows())
+		for y := q.NumRows(); y >= 1; y-- {
+			for _, id := range q.Row(y).Nets {
+				fmt.Fprintf(h, " %d", id)
+			}
+			fmt.Fprintln(h)
+		}
+	}
+	fmt.Fprintf(h, "tiers=%d\n", p.Tiers)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Options controls instance construction.

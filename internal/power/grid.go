@@ -83,11 +83,22 @@ type Method int
 
 const (
 	// CG is preconditioned conjugate gradient (Jacobi preconditioner);
-	// the default and usually the fastest.
+	// the default and usually the fastest on paper-scale grids.
 	CG Method = iota
 	// SOR is successive over-relaxation, kept as an independent
 	// cross-check of CG (the package tests require the two to agree).
 	SOR
+	// MG is geometric multigrid: V-cycles over a coarsened GridSpec
+	// hierarchy with a red-black Gauss-Seidel smoother. Its iteration
+	// count is O(1) in the grid size, so it dominates CG on 512×512+
+	// grids. Grids whose dimensions cannot be coarsened even once (see
+	// multigrid.go) fall back to plain SOR transparently.
+	MG
+	// MGCG is conjugate gradient preconditioned with one multigrid
+	// V-cycle per iteration instead of the Jacobi diagonal — CG's
+	// robustness with MG's mesh-independent convergence. Falls back to
+	// plain (Jacobi) CG when the grid cannot be coarsened.
+	MGCG
 )
 
 // SolveOptions tunes the solver.
@@ -98,8 +109,18 @@ type SolveOptions struct {
 	// MaxIter bounds the iteration count (default 20·(Nx+Ny) for CG,
 	// 200·(Nx+Ny) for SOR).
 	MaxIter int
-	// Omega is the SOR relaxation factor (default 1.8).
+	// Omega is the SOR relaxation factor (default 1.8). The multigrid
+	// smoother does not use it: plain Gauss-Seidel (ω=1) smooths
+	// high-frequency error, which is all a V-cycle asks of it.
 	Omega float64
+	// CheckEvery is the number of sweeps (SOR) or V-cycles (MG) between
+	// convergence checks. residualNorm costs a full grid pass, so on
+	// large grids checking every sweep doubles the work; 0 takes the
+	// default (8 for SOR — bit-for-bit the historical behavior — and 1
+	// for MG, whose cycles are expensive relative to the check). CG and
+	// MGCG ignore it: their residual norm is a byproduct of the
+	// iteration.
+	CheckEvery int
 	// Workers bounds the solver's concurrency (0 means one per available
 	// CPU). It NEVER changes the result: grids below the parallel
 	// threshold always run the exact legacy sequential scheme, and above
@@ -123,12 +144,24 @@ func (o SolveOptions) withDefaults(g GridSpec) SolveOptions {
 		switch o.Method {
 		case SOR:
 			o.MaxIter = 200 * (g.Nx + g.Ny)
+		case MG:
+			// MaxIter counts V-cycles; multigrid needs O(1) of them
+			// regardless of grid size, so a flat bound suffices.
+			o.MaxIter = 100
 		default:
 			o.MaxIter = 20 * (g.Nx + g.Ny)
 		}
 	}
 	if o.Omega == 0 {
 		o.Omega = 1.8
+	}
+	if o.CheckEvery == 0 {
+		switch o.Method {
+		case MG:
+			o.CheckEvery = 1
+		default:
+			o.CheckEvery = 8
+		}
 	}
 	return o
 }
@@ -217,6 +250,9 @@ func SolveContext(ctx context.Context, g GridSpec, pads []Pad, opt SolveOptions)
 	if opt.Tol < 0 || opt.MaxIter < 1 {
 		return nil, fmt.Errorf("power: invalid solve options (tol %g, maxIter %d)", opt.Tol, opt.MaxIter)
 	}
+	if opt.CheckEvery < 1 {
+		return nil, fmt.Errorf("power: invalid check interval %d", opt.CheckEvery)
+	}
 	var sol *Solution
 	var err error
 	switch opt.Method {
@@ -224,6 +260,10 @@ func SolveContext(ctx context.Context, g GridSpec, pads []Pad, opt SolveOptions)
 		sol, err = solveSOR(ctx, g, isPad, opt)
 	case CG:
 		sol, err = solveCG(ctx, g, isPad, opt)
+	case MG:
+		sol, err = solveMG(ctx, g, isPad, opt)
+	case MGCG:
+		sol, err = solveMGCG(ctx, g, isPad, opt)
 	default:
 		return nil, fmt.Errorf("power: unknown method %d", opt.Method)
 	}
@@ -245,6 +285,10 @@ func recordSolve(opt SolveOptions, g GridSpec, pads int, sol *Solution) {
 		rec.Add("method/sor", 1)
 	case CG:
 		rec.Add("method/cg", 1)
+	case MG:
+		rec.Add("method/mg", 1)
+	case MGCG:
+		rec.Add("method/mgcg", 1)
 	}
 	rec.Add("solves", 1)
 	rec.Add("iterations", int64(sol.Iterations))
@@ -390,7 +434,7 @@ func solveSOR(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions) (
 			}
 		}
 		sweeps++
-		if it%8 == 7 {
+		if sweeps%opt.CheckEvery == 0 {
 			res = residualNorm(g, isPad, v)
 			if res <= opt.Tol*scale*float64(g.Nx*g.Ny) {
 				converged = true
@@ -414,6 +458,16 @@ func solveSOR(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions) (
 // solveCG solves the Dirichlet-eliminated SPD system with Jacobi-
 // preconditioned conjugate gradients.
 func solveCG(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions) (*Solution, error) {
+	return solveCGPre(ctx, g, isPad, opt, nil)
+}
+
+// solveCGPre is the CG engine with a pluggable preconditioner. mkPre, when
+// non-nil, is called once with the unknown index list and the resolved
+// worker count and must return a function computing z ≈ A⁻¹r (r and z are
+// eliminated-system vectors); the operator must be symmetric positive
+// definite for CG's theory to hold. nil mkPre keeps the historical Jacobi
+// (diagonal) preconditioner bit-for-bit.
+func solveCGPre(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions, mkPre func(unknowns []int, workers int) func(r, z []float64)) (*Solution, error) {
 	gx, gy := conductances(g)
 	sink := sinks(g)
 	n := g.Nx * g.Ny
@@ -527,6 +581,11 @@ func solveCG(ctx context.Context, g GridSpec, isPad []bool, opt SolveOptions) (*
 	precond := func(r, z []float64) {
 		for u := range z {
 			z[u] = r[u] / diag[u]
+		}
+	}
+	if mkPre != nil {
+		if p := mkPre(unknowns, workers); p != nil {
+			precond = p
 		}
 	}
 	precond(r, z)

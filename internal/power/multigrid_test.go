@@ -1,0 +1,353 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// mgSpec is an odd-dimension grid above parallelNodeThreshold that coarsens
+// through several levels (65 → 33 → 17 → 9 → 5 → 3).
+func mgSpec() GridSpec {
+	return GridSpec{
+		Nx: 65, Ny: 65, // 4225 nodes >= 4096
+		Width: 100, Height: 100,
+		RsX: 0.05, RsY: 0.05,
+		Vdd:            1.0,
+		CurrentDensity: 1e-5,
+	}
+}
+
+// boundaryPads returns every boundary node as a pad — the densest realistic
+// ring, and one that survives every coarsening level.
+func boundaryPads(g GridSpec) []Pad {
+	var pads []Pad
+	for i := 0; i < g.Nx; i++ {
+		pads = append(pads, Pad{I: i, J: 0}, Pad{I: i, J: g.Ny - 1})
+	}
+	for j := 1; j < g.Ny-1; j++ {
+		pads = append(pads, Pad{I: 0, J: j}, Pad{I: g.Nx - 1, J: j})
+	}
+	return pads
+}
+
+// Multigrid and MGCG must land on the same voltages as CG: same system, same
+// tolerance criterion, different iteration.
+func TestMGAgreesWithCG(t *testing.T) {
+	g := mgSpec()
+	pads := ringPads(g)
+	cg, err := Solve(g, pads, SolveOptions{Method: CG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cg.Converged {
+		t.Fatalf("CG did not converge: %s", cg.Stopped)
+	}
+	for _, m := range []Method{MG, MGCG} {
+		sol, err := Solve(g, pads, SolveOptions{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Converged {
+			t.Fatalf("method %d did not converge (residual %g after %d iterations)", m, sol.Residual, sol.Iterations)
+		}
+		worst := 0.0
+		for k := range cg.V {
+			if d := math.Abs(cg.V[k] - sol.V[k]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-5 {
+			t.Errorf("method %d disagrees with CG by %g", m, worst)
+		}
+		if d := math.Abs(cg.MaxDrop() - sol.MaxDrop()); d > 1e-5 {
+			t.Errorf("method %d max drop %g vs CG %g", m, sol.MaxDrop(), cg.MaxDrop())
+		}
+	}
+}
+
+// The V-cycle count must be small and mesh-independent — that is the whole
+// point of multigrid. 65×65 at the default 1e-9 tolerance should take on
+// the order of ten cycles, nowhere near CG's iteration count.
+func TestMGCycleCountIsSmall(t *testing.T) {
+	g := mgSpec()
+	pads := ringPads(g)
+	mg, err := Solve(g, pads, SolveOptions{Method: MG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mg.Converged {
+		t.Fatalf("MG did not converge: %s", mg.Stopped)
+	}
+	if mg.Iterations > 30 {
+		t.Errorf("MG took %d V-cycles; the smoother or transfer operators are broken", mg.Iterations)
+	}
+	cg, err := Solve(g, pads, SolveOptions{Method: CG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Iterations >= cg.Iterations {
+		t.Errorf("MG cycles (%d) not below CG iterations (%d)", mg.Iterations, cg.Iterations)
+	}
+}
+
+// Worker-count independence extends to the multigrid methods: every kernel
+// is sharded over index-disjoint outputs and the only reduction is the
+// fixed-chunk dot product.
+func TestMGDeterministicAcrossWorkers(t *testing.T) {
+	g := mgSpec()
+	pads := ringPads(g)
+	for _, m := range []Method{MG, MGCG} {
+		ref, err := Solve(g, pads, SolveOptions{Method: m, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			sol, err := Solve(g, pads, SolveOptions{Method: m, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Iterations != ref.Iterations || sol.Residual != ref.Residual {
+				t.Errorf("method %d workers %d: iterations/residual %d/%g vs %d/%g",
+					m, workers, sol.Iterations, sol.Residual, ref.Iterations, ref.Residual)
+			}
+			for k := range sol.V {
+				if sol.V[k] != ref.V[k] {
+					t.Fatalf("method %d workers %d: V[%d] = %v, want %v (not bit-identical)",
+						m, workers, k, sol.V[k], ref.V[k])
+				}
+			}
+		}
+	}
+}
+
+// Grids that cannot be coarsened (even dimensions) must fall back exactly:
+// MG to plain SOR, MGCG to Jacobi CG, bit for bit under identical options.
+func TestMGSingleLevelFallback(t *testing.T) {
+	g := bigSpec() // 70×70: even dimensions, canCoarsen false
+	pads := ringPads(g)
+	optSOR := SolveOptions{Method: SOR, MaxIter: 120, Tol: 1e-6, CheckEvery: 8}
+	sor, err := Solve(g, pads, optSOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optMG := optSOR
+	optMG.Method = MG
+	mg, err := Solve(g, pads, optMG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Iterations != sor.Iterations {
+		t.Errorf("MG fallback iterations %d, SOR %d", mg.Iterations, sor.Iterations)
+	}
+	for k := range mg.V {
+		if mg.V[k] != sor.V[k] {
+			t.Fatalf("MG fallback V[%d] differs from SOR", k)
+		}
+	}
+
+	cg, err := Solve(g, pads, SolveOptions{Method: CG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgcg, err := Solve(g, pads, SolveOptions{Method: MGCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgcg.Iterations != cg.Iterations {
+		t.Errorf("MGCG fallback iterations %d, CG %d", mgcg.Iterations, cg.Iterations)
+	}
+	for k := range mgcg.V {
+		if mgcg.V[k] != cg.V[k] {
+			t.Fatalf("MGCG fallback V[%d] differs from CG", k)
+		}
+	}
+}
+
+// Pads at odd coordinates never coincide with a coarse node; the hybrid
+// coarsening must carry them as springs (not drop them — that diverges, see
+// multigrid.go) and still converge to CG's answer.
+func TestMGOddCoordinatePads(t *testing.T) {
+	g := baseSpec()
+	g.Nx, g.Ny = 9, 9
+	pads := []Pad{{I: 1, J: 1}, {I: 7, J: 3}} // odd coordinates: no coincident coarse node
+	isPad := make([]bool, g.Nx*g.Ny)
+	for _, p := range pads {
+		isPad[p.J*g.Nx+p.I] = true
+	}
+	levels := buildHierarchy(g, isPad)
+	if len(levels) != 3 { // 9 → 5 → 3
+		t.Fatalf("hierarchy has %d levels, want 3", len(levels))
+	}
+	for l, lv := range levels[1:] {
+		for _, p := range lv.isPad {
+			if p {
+				t.Fatalf("level %d has a coarse pad; odd-coordinate pads must coarsen to springs", l+1)
+			}
+		}
+		var total float64
+		for _, s := range lv.spring {
+			total += s
+		}
+		if total <= 0 {
+			t.Fatalf("level %d has no spring; the coarse system is singular", l+1)
+		}
+	}
+	mg, err := Solve(g, pads, SolveOptions{Method: MG, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mg.Converged {
+		t.Fatalf("MG did not converge with odd-coordinate pads (residual %g)", mg.Residual)
+	}
+	cg, err := Solve(g, pads, SolveOptions{Method: CG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range mg.V {
+		if d := math.Abs(mg.V[k] - cg.V[k]); d > 1e-6 {
+			t.Fatalf("odd-pad MG V[%d] differs from CG by %g", k, d)
+		}
+	}
+}
+
+// Coarsening geometry: table of dimension cases for canCoarsen and the
+// resulting hierarchy depth with a full boundary pad ring.
+func TestMGCoarseningTable(t *testing.T) {
+	cases := []struct {
+		nx, ny   int
+		coarsens bool
+		depth    int // hierarchy depth with boundaryPads
+	}{
+		{2, 2, false, 1},   // minimum legal grid: no hierarchy
+		{4, 5, false, 1},   // even x
+		{5, 4, false, 1},   // even y
+		{3, 3, false, 1},   // odd but below mgMinDim
+		{5, 5, true, 2},    // 5 → 3, then 3 is too small
+		{7, 7, true, 2},    // 7 → 4 is even: stops after one level
+		{9, 9, true, 3},    // 9 → 5 → 3
+		{17, 9, true, 3},   // mixed dims coarsen together: 17×9 → 9×5 → 5×3
+		{65, 65, true, 6},  // 65 → 33 → 17 → 9 → 5 → 3
+		{513, 65, true, 6}, // limited by the smaller dimension
+	}
+	for _, c := range cases {
+		if got := canCoarsen(c.nx, c.ny); got != c.coarsens {
+			t.Errorf("canCoarsen(%d,%d) = %v, want %v", c.nx, c.ny, got, c.coarsens)
+		}
+		g := baseSpec()
+		g.Nx, g.Ny = c.nx, c.ny
+		isPad := make([]bool, c.nx*c.ny)
+		for _, p := range boundaryPads(g) {
+			isPad[p.J*g.Nx+p.I] = true
+		}
+		if got := len(buildHierarchy(g, isPad)); got != c.depth {
+			t.Errorf("hierarchy depth for %dx%d = %d, want %d", c.nx, c.ny, got, c.depth)
+		}
+	}
+}
+
+// GridSpec.Validate table test: each named invalid spec must be rejected
+// with a diagnostic mentioning the offending field.
+func TestGridSpecValidateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		mut     func(*GridSpec)
+		wantErr string
+	}{
+		{"valid", func(g *GridSpec) {}, ""},
+		{"nx too small", func(g *GridSpec) { g.Nx = 1 }, "too small"},
+		{"ny zero", func(g *GridSpec) { g.Ny = 0 }, "too small"},
+		{"negative width", func(g *GridSpec) { g.Width = -3 }, "die size"},
+		{"zero height", func(g *GridSpec) { g.Height = 0 }, "die size"},
+		{"zero rsx", func(g *GridSpec) { g.RsX = 0 }, "sheet resistance"},
+		{"negative rsy", func(g *GridSpec) { g.RsY = -1 }, "sheet resistance"},
+		{"zero vdd", func(g *GridSpec) { g.Vdd = 0 }, "Vdd"},
+		{"negative current", func(g *GridSpec) { g.CurrentDensity = -1 }, "current density"},
+		{"short current map", func(g *GridSpec) { g.CurrentMap = []float64{1, 2} }, "current map"},
+		{"negative map entry", func(g *GridSpec) { g.CurrentMap = negMap(g.Nx * g.Ny) }, "current map"},
+		{"nan map entry", func(g *GridSpec) {
+			m := make([]float64, g.Nx*g.Ny)
+			m[0] = math.NaN()
+			g.CurrentMap = m
+		}, "current map"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := baseSpec()
+			c.mut(&g)
+			err := g.Validate()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid spec rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// CheckEvery=0 must preserve the historical check-every-8-sweeps SOR
+// behavior bit for bit, and invalid intervals must be rejected.
+func TestCheckEveryDefaultBitForBit(t *testing.T) {
+	g := bigSpec()
+	pads := ringPads(g)
+	legacy, err := Solve(g, pads, SolveOptions{Method: SOR, MaxIter: 120, Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Solve(g, pads, SolveOptions{Method: SOR, MaxIter: 120, Tol: 1e-6, CheckEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Iterations != legacy.Iterations {
+		t.Errorf("CheckEvery=8 iterations %d, default %d", explicit.Iterations, legacy.Iterations)
+	}
+	for k := range explicit.V {
+		if explicit.V[k] != legacy.V[k] {
+			t.Fatalf("CheckEvery=8 V[%d] differs from default", k)
+		}
+	}
+	// A denser check interval may stop earlier but must land on the same
+	// physics (both residuals meet the tolerance).
+	dense, err := Solve(g, pads, SolveOptions{Method: SOR, Tol: 1e-6, CheckEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Converged {
+		t.Errorf("CheckEvery=1 solve did not converge")
+	}
+	if _, err := Solve(g, pads, SolveOptions{Method: SOR, CheckEvery: -2}); err == nil {
+		t.Error("negative CheckEvery accepted")
+	}
+}
+
+// The small-grid gate applies to MG too: below parallelNodeThreshold the
+// kernels run sequentially for any Workers value.
+func TestMGSmallGridIgnoresWorkers(t *testing.T) {
+	g := baseSpec() // 21×21: odd dims, coarsenable, below the threshold
+	pads := leftEdgePads(g)
+	for _, m := range []Method{MG, MGCG} {
+		ref, err := Solve(g, pads, SolveOptions{Method: m, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.Converged {
+			t.Fatalf("method %d did not converge on the small grid", m)
+		}
+		got, err := Solve(g, pads, SolveOptions{Method: m, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range got.V {
+			if got.V[k] != ref.V[k] {
+				t.Fatalf("method %d: small-grid V[%d] depends on Workers", m, k)
+			}
+		}
+	}
+}

@@ -208,7 +208,7 @@ func solveSORRedBlack(ctx context.Context, g GridSpec, isPad []bool, opt SolveOp
 		halfSweep(0)
 		halfSweep(1)
 		sweeps++
-		if it%8 == 7 {
+		if sweeps%opt.CheckEvery == 0 {
 			res = residualNormWorkers(g, isPad, v, workers)
 			if res <= opt.Tol*scale*float64(g.Nx*g.Ny) {
 				converged = true

@@ -65,17 +65,37 @@ type Stats struct {
 // assignment. It returns an error if the assignment violates the via-order
 // rule (no legal monotonic routing exists).
 func Evaluate(p *core.Problem, a *core.Assignment) (*Stats, error) {
-	if err := core.CheckMonotonic(p, a); err != nil {
-		return nil, err
-	}
-	out := &Stats{}
+	var e Evaluator
+	return e.Evaluate(p, a)
+}
+
+// Evaluator is an arena for repeated full evaluations: it owns the Stats
+// buffers (per-line segment loads included) and reuses them on every call,
+// so after the first evaluation of a given package shape an evaluation
+// allocates nothing. The returned *Stats aliases the Evaluator's storage
+// and is valid until the next Evaluate call on the same Evaluator. The
+// zero value is ready to use; an Evaluator is not safe for concurrent use.
+type Evaluator struct {
+	mono  core.MonotonicScratch
+	stats Stats
+}
+
+// Evaluate is the package function Evaluate with the arena's reused
+// buffers; the results are identical.
+func (e *Evaluator) Evaluate(p *core.Problem, a *core.Assignment) (*Stats, error) {
 	for _, side := range bga.Sides() {
-		q := p.Pkg.Quadrant(side)
-		qs, err := evaluateQuadrant(p, q, a.Slots[side])
-		if err != nil {
+		if err := e.mono.CheckQuadrant(p.Pkg.Quadrant(side), a.Slots[side]); err != nil {
 			return nil, err
 		}
-		out.Quadrants[side] = qs
+	}
+	out := &e.stats
+	out.MaxDensity, out.Wirelength = 0, 0
+	for _, side := range bga.Sides() {
+		q := p.Pkg.Quadrant(side)
+		qs := &out.Quadrants[side]
+		if err := evaluateQuadrantInto(p, q, a.Slots[side], qs); err != nil {
+			return nil, err
+		}
 		if qs.MaxDensity > out.MaxDensity {
 			out.MaxDensity = qs.MaxDensity
 		}
@@ -95,19 +115,34 @@ func EvaluateQuadrant(p *core.Problem, side bga.Side, order []netlist.ID) (Quadr
 }
 
 func evaluateQuadrant(p *core.Problem, q *bga.Quadrant, order []netlist.ID) (QuadrantStats, error) {
-	qs := QuadrantStats{Side: q.Side, Lines: make([]LineStat, q.NumRows())}
-	for y := 1; y <= q.NumRows(); y++ {
-		ls, err := lineStat(q, order, y)
-		if err != nil {
-			return QuadrantStats{}, err
+	var qs QuadrantStats
+	if err := evaluateQuadrantInto(p, q, order, &qs); err != nil {
+		return QuadrantStats{}, err
+	}
+	return qs, nil
+}
+
+// evaluateQuadrantInto is evaluateQuadrant writing into qs, reusing its
+// Lines slice and each line's SegmentLoad buffer when they are big enough.
+func evaluateQuadrantInto(p *core.Problem, q *bga.Quadrant, order []netlist.ID, qs *QuadrantStats) error {
+	rows := q.NumRows()
+	// Growing through append([:cap], ...) keeps the existing elements, and
+	// with them the SegmentLoad buffers lineStatInto will reuse.
+	for cap(qs.Lines) < rows {
+		qs.Lines = append(qs.Lines[:cap(qs.Lines)], LineStat{})
+	}
+	qs.Side, qs.Lines, qs.MaxDensity = q.Side, qs.Lines[:rows], 0
+	for y := 1; y <= rows; y++ {
+		ls := &qs.Lines[y-1]
+		if err := lineStatInto(q, order, y, nil, ls); err != nil {
+			return err
 		}
-		qs.Lines[y-1] = ls
 		if ls.Max > qs.MaxDensity {
 			qs.MaxDensity = ls.Max
 		}
 	}
 	qs.Wirelength = wirelength(p, q, order)
-	return qs, nil
+	return nil
 }
 
 // lineStat computes the balanced segment loads on the via line of ball row
@@ -120,40 +155,34 @@ func lineStat(q *bga.Quadrant, order []netlist.ID, y int) (LineStat, error) {
 // lineStatVias is lineStat with an explicit via plan: plan[id] overrides
 // the default bottom-left via site of a net terminating on this line.
 func lineStatVias(q *bga.Quadrant, order []netlist.ID, y int, plan ViaPlan) (LineStat, error) {
+	var ls LineStat
+	if err := lineStatInto(q, order, y, plan, &ls); err != nil {
+		return LineStat{}, err
+	}
+	return ls, nil
+}
+
+// lineStatInto is lineStatVias writing into ls, reusing its SegmentLoad
+// buffer when big enough. It is closure-free so the hot evaluation path
+// stays allocation-free on reuse.
+func lineStatInto(q *bga.Quadrant, order []netlist.ID, y int, plan ViaPlan, ls *LineStat) error {
 	sites := q.Row(y).Sites()
-	ls := LineStat{Y: y, SegmentLoad: make([]int, sites+1)}
+	seg := ls.SegmentLoad
+	if cap(seg) < sites+1 {
+		seg = make([]int, sites+1)
+	}
+	// Every segment is written by exactly one flush below, so the reused
+	// buffer needs no zeroing.
+	*ls = LineStat{Y: y, SegmentLoad: seg[:sites+1]}
 
 	// Walk the fingers left to right, collecting runs of passing wires
 	// between consecutive pinned vias.
 	prevVia := 0 // sentinel: left package edge, "site 0"
 	run := 0     // passing wires since the previous pin
-	flush := func(nextVia int) error {
-		// The run spreads over segments prevVia..nextVia-1.
-		k := nextVia - prevVia
-		if k <= 0 {
-			return fmt.Errorf("route: %v line %d: via order broken (site %d after %d)", q.Side, y, nextVia, prevVia)
-		}
-		base, extra := run/k, run%k
-		for j := 0; j < k; j++ {
-			load := base
-			if j < extra {
-				load++
-			}
-			ls.SegmentLoad[prevVia+j] = load
-			if load > ls.Max {
-				ls.Max = load
-			}
-		}
-		ls.Passing += run
-		run = 0
-		prevVia = nextVia
-		return nil
-	}
-
 	for slot, id := range order {
 		b, ok := q.Ball(id)
 		if !ok {
-			return LineStat{}, fmt.Errorf("route: %v slot %d: net %d not in quadrant", q.Side, slot+1, id)
+			return fmt.Errorf("route: %v slot %d: net %d not in quadrant", q.Side, slot+1, id)
 		}
 		switch {
 		case b.Y == y: // terminates here: pin at its via site
@@ -162,10 +191,10 @@ func lineStatVias(q *bga.Quadrant, order []netlist.ID, y int, plan ViaPlan) (Lin
 				site = s
 			}
 			if site < 1 || site > sites {
-				return LineStat{}, fmt.Errorf("route: %v line %d: net %d via site %d outside 1..%d", q.Side, y, id, site, sites)
+				return fmt.Errorf("route: %v line %d: net %d via site %d outside 1..%d", q.Side, y, id, site, sites)
 			}
-			if err := flush(site); err != nil {
-				return LineStat{}, err
+			if err := flushRun(ls, q.Side, &prevVia, &run, site); err != nil {
+				return err
 			}
 			ls.Terminating++
 		case b.Y < y: // passes through
@@ -173,10 +202,31 @@ func lineStatVias(q *bga.Quadrant, order []netlist.ID, y int, plan ViaPlan) (Lin
 		}
 	}
 	// Final run spreads over segments prevVia..sites.
-	if err := flush(sites + 1); err != nil {
-		return LineStat{}, err
+	return flushRun(ls, q.Side, &prevVia, &run, sites+1)
+}
+
+// flushRun spreads the pending run of passing wires evenly over the
+// segments prevVia..nextVia-1 and advances the walk state.
+func flushRun(ls *LineStat, side bga.Side, prevVia, run *int, nextVia int) error {
+	k := nextVia - *prevVia
+	if k <= 0 {
+		return fmt.Errorf("route: %v line %d: via order broken (site %d after %d)", side, ls.Y, nextVia, *prevVia)
 	}
-	return ls, nil
+	base, extra := *run/k, *run%k
+	for j := 0; j < k; j++ {
+		load := base
+		if j < extra {
+			load++
+		}
+		ls.SegmentLoad[*prevVia+j] = load
+		if load > ls.Max {
+			ls.Max = load
+		}
+	}
+	ls.Passing += *run
+	*run = 0
+	*prevVia = nextVia
+	return nil
 }
 
 // wirelength sums the flyline lengths: finger center to via site on Layer 1

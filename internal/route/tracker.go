@@ -1,0 +1,328 @@
+package route
+
+import (
+	"fmt"
+
+	"copack/internal/bga"
+	"copack/internal/netlist"
+)
+
+// This file maintains the quadrant density map incrementally under adjacent
+// finger swaps. Evaluate recomputes every line of the die from scratch —
+// O(rows·n) per call — which is what a large-tier local search pays per
+// *move* if it re-evaluates. A Tracker pays that cost once, then updates in
+// O(1) per swap, because an adjacent swap's footprint is one window of one
+// via line:
+//
+//   - The gap geometry is static. Terminating nets pin their vias at fixed
+//     ball sites, and a legal swap never reorders the terminators of a line
+//     among themselves (that would invert the via order), so the pinned
+//     sites, the gap widths between consecutive pins, and each terminator's
+//     delimiter ordinal are all fixed at construction.
+//
+//   - A swap of adjacent nets on ball lines ra ≠ rb perturbs exactly one
+//     line, y = max(ra, rb): there the higher net terminates (a delimiter)
+//     and the lower net passes, and the swap carries that one passing wire
+//     across the delimiter from one gap to the neighboring gap. On every
+//     other line the pair is passing/passing, skipped/skipped, or
+//     passing/skipped — the crossing sets are unchanged.
+//
+// A run of r passing wires spread over a gap of k segments loads its worst
+// segment with ⌈r/k⌉, so a ±1 run edit moves a gap's load by at most one
+// step. The line maximum is kept by a count-of-counts multiset over the
+// line's gap loads, and the quadrant maximum by a second multiset over the
+// line maxima; a one-step element move shifts a multiset maximum by at most
+// one step, so both update in O(1) with no rescan (the same argument as the
+// exchange package's Eq 2 section bookkeeping).
+type Tracker struct {
+	q     *bga.Quadrant
+	order []netlist.ID
+
+	// rowDense[id] is the ball line of net id (0 when absent); ordDense[id]
+	// is a terminating net's 1-based ordinal among its line's pins. Net IDs
+	// are dense in practice; the sparse maps are the fallback guard.
+	rowDense  []int32
+	rowSparse map[netlist.ID]int32
+	ordDense  []int32
+	ordSparse map[netlist.ID]int32
+
+	lines []trackerLine
+
+	// Count-of-counts multiset over the per-line maxima: qBucket[d] is the
+	// number of lines whose worst gap currently carries d wires, and qMax
+	// is the largest load present — the quadrant MaxDensity.
+	qBucket []int32
+	qMax    int32
+
+	swaps int // total committed swaps (telemetry)
+}
+
+// trackerLine is the density window state of one via line.
+type trackerLine struct {
+	// run[m] is the number of passing wires between pin m and pin m+1 in
+	// finger order (pin 0 and pin T+1 are the package-edge sentinels of a
+	// line with T terminators); gapK[m] is the number of via-site segments
+	// that gap spans, i.e. the divisor of the balanced spreading.
+	run  []int32
+	gapK []int32
+	// bucket[d] counts the gaps whose load ⌈run/gapK⌉ is d; max is the
+	// largest load present, equal to LineStat.Max for this line.
+	bucket []int32
+	max    int32
+	// frontier is Reset-walk state: the ordinal of the line's last pin
+	// encountered so far, i.e. which run a passing wire currently joins.
+	frontier int32
+}
+
+// gapLoad is the worst-segment load of r passing wires balanced over k
+// segments: ⌈r/k⌉.
+func gapLoad(r, k int32) int32 { return (r + k - 1) / k }
+
+// NewTracker builds the density state of one quadrant order. The order must
+// be monotonic-legal and contain exactly the quadrant's nets; the Tracker
+// keeps a private copy of it.
+func NewTracker(q *bga.Quadrant, order []netlist.ID) (*Tracker, error) {
+	t := &Tracker{q: q}
+
+	maxID, nets := netlist.ID(-1), 0
+	for y := 1; y <= q.NumRows(); y++ {
+		for _, id := range q.Row(y).Nets {
+			if id == bga.NoNet {
+				continue
+			}
+			nets++
+			if id > maxID {
+				maxID = id
+			}
+		}
+	}
+	if span := int(maxID) + 1; span <= 4*nets+64 {
+		t.rowDense = make([]int32, span)
+		t.ordDense = make([]int32, span)
+	} else {
+		t.rowSparse = make(map[netlist.ID]int32, nets)
+		t.ordSparse = make(map[netlist.ID]int32, nets)
+	}
+
+	// Static geometry: rows, pinned gap widths and delimiter ordinals. The
+	// pins of line y sit at the occupied sites in ball-x order, which is
+	// also their finger order under any legal assignment.
+	t.lines = make([]trackerLine, q.NumRows())
+	// passBelow caps the load any gap of a line can carry: every net on a
+	// lower line crosses it, and no other net does.
+	passBelow := 0
+	worstCap := 0
+	for y := 1; y <= q.NumRows(); y++ {
+		row := q.Row(y)
+		ln := &t.lines[y-1]
+		ln.gapK = append(ln.gapK[:0], 0)
+		prev, ord := 0, int32(0)
+		for x, id := range row.Nets {
+			if id == bga.NoNet {
+				continue
+			}
+			ord++
+			t.setRowOrd(id, int32(y), ord)
+			ln.gapK[len(ln.gapK)-1] = int32(x + 1 - prev)
+			ln.gapK = append(ln.gapK, 0)
+			prev = x + 1
+		}
+		ln.gapK[len(ln.gapK)-1] = int32(row.Sites() + 1 - prev)
+		ln.run = make([]int32, len(ln.gapK))
+		ln.bucket = make([]int32, passBelow+2)
+		if passBelow > worstCap {
+			worstCap = passBelow
+		}
+		passBelow += row.Occupied()
+	}
+	t.qBucket = make([]int32, worstCap+2)
+
+	if err := t.Reset(order); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Tracker) setRowOrd(id netlist.ID, row, ord int32) {
+	if t.rowSparse != nil {
+		t.rowSparse[id] = row
+		t.ordSparse[id] = ord
+		return
+	}
+	t.rowDense[id] = row
+	t.ordDense[id] = ord
+}
+
+// row returns the ball line of a net (0 if absent from the quadrant).
+func (t *Tracker) rowOf(id netlist.ID) int32 {
+	if t.rowSparse != nil {
+		return t.rowSparse[id]
+	}
+	if id >= 0 && int(id) < len(t.rowDense) {
+		return t.rowDense[id]
+	}
+	return 0
+}
+
+// ordOf returns a net's 1-based delimiter ordinal on its line.
+func (t *Tracker) ordOf(id netlist.ID) int32 {
+	if t.ordSparse != nil {
+		return t.ordSparse[id]
+	}
+	return t.ordDense[id]
+}
+
+// Reset rebuilds the density state for a new finger order of the same
+// quadrant, reusing all internal memory — after the first Reset of a given
+// quadrant shape, resetting allocates nothing. If Reset returns an error
+// (illegal order) the state is unspecified; call Reset again with a legal
+// order before using the Tracker.
+func (t *Tracker) Reset(order []netlist.ID) error {
+	q := t.q
+	if len(order) != q.NumNets() {
+		return fmt.Errorf("route: %v tracker: order has %d slots, quadrant has %d nets", q.Side, len(order), q.NumNets())
+	}
+	t.order = append(t.order[:0], order...)
+
+	// One walk of the order fills every line's runs and checks legality:
+	// frontier counts a line's pins passed so far, so a passing net on
+	// line y (row < y) lands in run frontier; a terminator arriving out of
+	// ordinal order means the via order is broken.
+	for i := range t.lines {
+		ln := &t.lines[i]
+		for m := range ln.run {
+			ln.run[m] = 0
+		}
+		ln.frontier = 0
+	}
+	rows := q.NumRows()
+	for slot, id := range order {
+		r := t.rowOf(id)
+		if r == 0 {
+			return fmt.Errorf("route: %v slot %d: net %d not in quadrant", q.Side, slot+1, id)
+		}
+		ln := &t.lines[r-1]
+		if ord := t.ordOf(id); ord != ln.frontier+1 {
+			return fmt.Errorf("route: %v line %d: net %d at slot %d breaks the via order (monotonic rule violated)", q.Side, r, id, slot+1)
+		}
+		ln.frontier++
+		for y := int(r) + 1; y <= rows; y++ {
+			hl := &t.lines[y-1]
+			hl.run[hl.frontier]++
+		}
+	}
+
+	// Rebuild the multisets from the runs.
+	for i := range t.qBucket {
+		t.qBucket[i] = 0
+	}
+	t.qMax = 0
+	for i := range t.lines {
+		ln := &t.lines[i]
+		for m := range ln.bucket {
+			ln.bucket[m] = 0
+		}
+		ln.max = 0
+		for m, r := range ln.run {
+			d := gapLoad(r, ln.gapK[m])
+			ln.bucket[d]++
+			if d > ln.max {
+				ln.max = d
+			}
+		}
+		t.qBucket[ln.max]++
+		if ln.max > t.qMax {
+			t.qMax = ln.max
+		}
+	}
+	return nil
+}
+
+// Order returns the tracker's current finger order. The slice is owned by
+// the Tracker: treat it as read-only and use Swap to change it.
+func (t *Tracker) Order() []netlist.ID { return t.order }
+
+// MaxDensity returns the quadrant's current maximum segment load, equal to
+// QuadrantStats.MaxDensity for the current order.
+func (t *Tracker) MaxDensity() int { return int(t.qMax) }
+
+// LineMax returns the current worst segment load on the via line of ball
+// row y, equal to LineStat.Max for the current order.
+func (t *Tracker) LineMax(y int) int { return int(t.lines[y-1].max) }
+
+// Swaps returns the number of committed swaps over the Tracker's lifetime
+// (Reset does not clear it; telemetry).
+func (t *Tracker) Swaps() int { return t.swaps }
+
+// Swap exchanges the nets at finger slots i and i+1 (1-based) and updates
+// the density state in O(1). It returns an error — leaving the state
+// untouched — if the slots are out of range or the nets share a ball line
+// (such a swap inverts the via order, so no monotonic routing exists and
+// the density is undefined). Swapping the same i again exactly undoes a
+// swap.
+func (t *Tracker) Swap(i int) error {
+	if i < 1 || i >= len(t.order) {
+		return fmt.Errorf("route: %v tracker: swap slot %d out of range 1..%d", t.q.Side, i, len(t.order)-1)
+	}
+	na, nb := t.order[i-1], t.order[i]
+	ra, rb := t.rowOf(na), t.rowOf(nb)
+	if ra == rb {
+		return fmt.Errorf("route: %v tracker: swapping slots %d,%d inverts the via order of line %d", t.q.Side, i, i+1, ra)
+	}
+	t.order[i-1], t.order[i] = nb, na
+	t.swaps++
+
+	// Only line max(ra, rb) is perturbed: its terminator is the delimiter,
+	// the other net is the passing wire crossing it. Delimiter first in
+	// finger order means the wire moves left across pin m (run m → m−1);
+	// delimiter second means it moves right (run m−1 → m).
+	hi, dNet, dFirst := ra, na, true
+	if rb > ra {
+		hi, dNet, dFirst = rb, nb, false
+	}
+	ln := &t.lines[hi-1]
+	m := t.ordOf(dNet)
+	dec, inc := m, m-1
+	if !dFirst {
+		dec, inc = m-1, m
+	}
+
+	oldDec := gapLoad(ln.run[dec], ln.gapK[dec])
+	oldInc := gapLoad(ln.run[inc], ln.gapK[inc])
+	ln.run[dec]--
+	ln.run[inc]++
+	newDec := gapLoad(ln.run[dec], ln.gapK[dec])
+	newInc := gapLoad(ln.run[inc], ln.gapK[inc])
+	if newDec != oldDec {
+		ln.bucket[oldDec]--
+		ln.bucket[newDec]++
+	}
+	if newInc != oldInc {
+		ln.bucket[oldInc]--
+		ln.bucket[newInc]++
+	}
+
+	// Each gap load moved at most one step, so the line max moves at most
+	// one step: up if the growing gap overtook it, down if the shrinking
+	// gap was the sole worst one.
+	oldLM := ln.max
+	if newInc > ln.max {
+		ln.max = newInc
+	} else if oldDec == ln.max && ln.bucket[ln.max] == 0 {
+		ln.max--
+	}
+	if ln.max == oldLM {
+		return nil
+	}
+
+	// The same one-step argument lifts to the quadrant multiset over line
+	// maxima.
+	t.qBucket[oldLM]--
+	t.qBucket[ln.max]++
+	if ln.max > t.qMax {
+		t.qMax = ln.max
+	} else if oldLM == t.qMax && t.qBucket[t.qMax] == 0 {
+		t.qMax--
+	}
+	return nil
+}

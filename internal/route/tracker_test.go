@@ -1,0 +1,293 @@
+package route
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"copack/internal/assign"
+	"copack/internal/bga"
+	"copack/internal/core"
+	"copack/internal/gen"
+	"copack/internal/netlist"
+)
+
+func trackerShapes() []gen.TestCircuit {
+	return []gen.TestCircuit{
+		{Name: "tiny", Fingers: 16, BallSpace: 1, FingerW: 0.1, FingerH: 0.1, FingerSpace: 0.1},
+		{Name: "mid", Fingers: 64, BallSpace: 1, FingerW: 0.1, FingerH: 0.1, FingerSpace: 0.1},
+		{Name: "big", Fingers: 192, BallSpace: 1, FingerW: 0.1, FingerH: 0.1, FingerSpace: 0.1},
+	}
+}
+
+// checkAgainstEvaluate compares every incremental quantity of the tracker
+// to the from-scratch EvaluateQuadrant of the same order.
+func checkAgainstEvaluate(t *testing.T, p *core.Problem, side bga.Side, tr *Tracker, order []netlist.ID, step int) {
+	t.Helper()
+	qs, err := EvaluateQuadrant(p, side, order)
+	if err != nil {
+		t.Fatalf("step %d: full evaluate: %v", step, err)
+	}
+	if got := tr.MaxDensity(); got != qs.MaxDensity {
+		t.Fatalf("step %d: tracker MaxDensity = %d, evaluate %d", step, got, qs.MaxDensity)
+	}
+	for y := 1; y <= p.Pkg.Quadrant(side).NumRows(); y++ {
+		if got := tr.LineMax(y); got != qs.Lines[y-1].Max {
+			t.Fatalf("step %d: tracker LineMax(%d) = %d, evaluate %d", step, y, got, qs.Lines[y-1].Max)
+		}
+	}
+}
+
+// A long random walk of adjacent swaps must keep the tracker bit-identical
+// to the from-scratch density evaluation at every step — the windowed O(1)
+// update is only worth having if it never diverges.
+func TestTrackerMatchesEvaluate(t *testing.T) {
+	for _, sh := range trackerShapes() {
+		for seed := int64(0); seed < 3; seed++ {
+			p := gen.MustBuild(sh, gen.Options{Seed: seed})
+			rng := rand.New(rand.NewSource(seed + 100))
+			for _, side := range bga.Sides() {
+				a, err := assign.DFA(p, assign.DFAOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				order := append([]netlist.ID(nil), a.Slots[side]...)
+				tr, err := NewTracker(p.Pkg.Quadrant(side), order)
+				if err != nil {
+					t.Fatalf("%s/%d/%v: %v", sh.Name, seed, side, err)
+				}
+				checkAgainstEvaluate(t, p, side, tr, order, -1)
+				committed := 0
+				for step := 0; committed < 60 && step < 10000; step++ {
+					i := 1 + rng.Intn(len(order)-1)
+					if err := tr.Swap(i); err != nil {
+						// Same-line swap: rejected, state untouched.
+						checkAgainstEvaluate(t, p, side, tr, order, step)
+						continue
+					}
+					committed++
+					order[i-1], order[i] = order[i], order[i-1]
+					checkAgainstEvaluate(t, p, side, tr, order, step)
+				}
+				if committed == 0 {
+					t.Fatalf("%s/%d/%v: walk committed no swaps", sh.Name, seed, side)
+				}
+				if !reflect.DeepEqual(tr.Order(), order) {
+					t.Fatalf("%s/%d/%v: tracker order diverged from shadow", sh.Name, seed, side)
+				}
+			}
+		}
+	}
+}
+
+// Reset reuses the arena for a new order of the same quadrant; a failed
+// Reset (illegal order) must be recoverable by a successful one.
+func TestTrackerReset(t *testing.T) {
+	p := gen.MustBuild(trackerShapes()[1], gen.Options{Seed: 7})
+	q := p.Pkg.Quadrant(bga.Right)
+	a, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfaOrder := a.Slots[bga.Right]
+	tr, err := NewTracker(q, dfaOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A different legal order: the quadrant's natural ball order.
+	natural := q.Nets()
+	if err := tr.Reset(natural); err != nil {
+		t.Fatalf("reset to natural order: %v", err)
+	}
+	checkAgainstEvaluate(t, p, bga.Right, tr, natural, 0)
+
+	// Wrong length and illegal (same-line inversion) orders are rejected.
+	if err := tr.Reset(natural[:len(natural)-1]); err == nil {
+		t.Error("reset with short order: want error")
+	}
+	bad := append([]netlist.ID(nil), natural...)
+	swapSameRow(t, q, bad)
+	if err := tr.Reset(bad); err == nil {
+		t.Error("reset with inverted via order: want error")
+	}
+
+	// Recover from the failed resets and match a fresh tracker.
+	if err := tr.Reset(dfaOrder); err != nil {
+		t.Fatalf("recovery reset: %v", err)
+	}
+	checkAgainstEvaluate(t, p, bga.Right, tr, dfaOrder, 1)
+}
+
+// swapSameRow inverts one adjacent same-row pair of order, which breaks the
+// monotonic rule; it fails the test if none exists.
+func swapSameRow(t *testing.T, q *bga.Quadrant, order []netlist.ID) {
+	t.Helper()
+	for i := 1; i < len(order); i++ {
+		ba, _ := q.Ball(order[i-1])
+		bb, _ := q.Ball(order[i])
+		if ba.Y == bb.Y {
+			order[i-1], order[i] = order[i], order[i-1]
+			return
+		}
+	}
+	t.Fatal("no adjacent same-row pair in order")
+}
+
+// A same-row swap inverts the via order, so the tracker must refuse it and
+// keep its state byte-identical.
+func TestTrackerSameRowSwapRejected(t *testing.T) {
+	q, err := bga.NewQuadrant(bga.Bottom, []bga.Row{
+		{Nets: []netlist.ID{0, 1}},
+		{Nets: []netlist.ID{2, 3, bga.NoNet}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []netlist.ID{0, 1, 2, 3}
+	tr, err := NewTracker(q, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.MaxDensity()
+	if err := tr.Swap(1); err == nil {
+		t.Fatal("swap of same-row pair: want error")
+	}
+	if got := tr.MaxDensity(); got != before {
+		t.Errorf("rejected swap changed MaxDensity: %d -> %d", before, got)
+	}
+	if !reflect.DeepEqual(tr.Order(), order) {
+		t.Errorf("rejected swap changed order: %v", tr.Order())
+	}
+	if err := tr.Swap(0); err == nil {
+		t.Error("swap slot 0: want range error")
+	}
+	if err := tr.Swap(len(order)); err == nil {
+		t.Error("swap past last pair: want range error")
+	}
+}
+
+// NewTracker must reject orders the router rejects: foreign nets and
+// via-order inversions.
+func TestTrackerRejectsIllegalOrder(t *testing.T) {
+	p := gen.MustBuild(trackerShapes()[1], gen.Options{Seed: 3})
+	q := p.Pkg.Quadrant(bga.Top)
+	order := q.Nets()
+
+	foreign := append([]netlist.ID(nil), order...)
+	foreign[0] = netlist.ID(1 << 20)
+	if _, err := NewTracker(q, foreign); err == nil {
+		t.Error("foreign net: want error")
+	}
+	bad := append([]netlist.ID(nil), order...)
+	swapSameRow(t, q, bad)
+	if _, err := NewTracker(q, bad); err == nil {
+		t.Error("inverted via order: want error")
+	}
+}
+
+// The windowed update is the tracker's reason to exist: a swap must not
+// allocate. (A swap and its undo keep the walk legal from any state.)
+func TestTrackerSwapZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	p := gen.MustBuild(trackerShapes()[2], gen.Options{Seed: 1})
+	q := p.Pkg.Quadrant(bga.Bottom)
+	order := q.Nets()
+	tr, err := NewTracker(q, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a swappable pair (different rows).
+	i := 0
+	for j := 1; j < len(order); j++ {
+		ba, _ := q.Ball(order[j-1])
+		bb, _ := q.Ball(order[j])
+		if ba.Y != bb.Y {
+			i = j
+			break
+		}
+	}
+	if i == 0 {
+		t.Fatal("no adjacent different-row pair")
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if err := tr.Swap(i); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Swap(i); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("tracker swap allocates %.2f objects/swap pair, want 0", avg)
+	}
+	// And Reset reuses the arena once warmed.
+	avg = testing.AllocsPerRun(100, func() {
+		if err := tr.Reset(order); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("tracker reset allocates %.2f objects/run, want 0", avg)
+	}
+}
+
+// The Evaluator arena must reproduce the one-shot Evaluate bit for bit,
+// across repeated evaluations of different assignments.
+func TestEvaluatorMatchesEvaluate(t *testing.T) {
+	var e Evaluator
+	for _, sh := range trackerShapes() {
+		p := gen.MustBuild(sh, gen.Options{Seed: 11})
+		rng := rand.New(rand.NewSource(5))
+		orders := make([]*core.Assignment, 0, 3)
+		if a, err := assign.DFA(p, assign.DFAOptions{}); err == nil {
+			orders = append(orders, a)
+		}
+		if a, err := assign.IFA(p); err == nil {
+			orders = append(orders, a)
+		}
+		if a, err := assign.Random(p, rng); err == nil {
+			orders = append(orders, a)
+		}
+		for k, a := range orders {
+			want, err := Evaluate(p, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Evaluate(p, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s order %d: evaluator diverges from Evaluate", sh.Name, k)
+			}
+		}
+	}
+}
+
+// After the first evaluation of a package shape, the arena is warm and an
+// evaluation allocates nothing.
+func TestEvaluatorZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	p := gen.MustBuild(trackerShapes()[2], gen.Options{Seed: 2})
+	a, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Evaluator
+	if _, err := e.Evaluate(p, a); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := e.Evaluate(p, a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm evaluator allocates %.2f objects/run, want 0", avg)
+	}
+}
