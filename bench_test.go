@@ -122,7 +122,7 @@ func benchProblem(b *testing.B, idx int) *copack.Problem {
 	return p
 }
 
-// BenchmarkAssign measures the three assignment algorithms on the largest
+// BenchmarkAssign measures the four assignment algorithms on the largest
 // circuit (448 fingers).
 func BenchmarkAssign(b *testing.B) {
 	p := benchProblem(b, 4)
@@ -144,6 +144,13 @@ func BenchmarkAssign(b *testing.B) {
 		rng := rand.New(rand.NewSource(1))
 		for i := 0; i < b.N; i++ {
 			if _, err := assign.Random(p, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mcmf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := assign.MCMF(p, assign.MCMFOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -433,8 +440,9 @@ func BenchmarkDRC(b *testing.B) {
 
 // --- Parallel speedup (the worker-pool layer) ----------------------------
 
-// BenchmarkParallelSpeedup measures the three parallelized surfaces —
-// multi-start exchange, large-grid IR solve, and the Table 2 harness — at
+// BenchmarkParallelSpeedup measures the parallelized surfaces —
+// multi-start exchange, large-grid IR solve, the Table 2 harness and the
+// four-way engine comparison — at
 // 1, 2, 4 and 8 workers. Every variant returns byte-identical results; only
 // the wall clock may change (and only on multi-core hosts: with GOMAXPROCS=1
 // all worker counts degenerate to sequential execution).
@@ -485,6 +493,21 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 			b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := exp.Table2With(1, 10, exp.Harness{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+
+	b.Run("mcmf", func(b *testing.B) {
+		// The engine comparison fanned over the harness pool — the MCMF
+		// solver is inside each work unit, so this is the CI smoke for the
+		// assign/mcmf bench surface.
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := exp.CompareAssignWith(1, 3, exp.Harness{Workers: w}); err != nil {
 						b.Fatal(err)
 					}
 				}

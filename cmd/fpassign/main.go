@@ -34,7 +34,7 @@ func realMain(args []string) int {
 		out          = fs.String("out", "", "write the planned design back to a design file")
 		fingers      = fs.Int("fingers", 96, "finger/pad count for a custom instance")
 		ballSpace    = fs.Float64("ballspace", 1.2, "bump ball spacing (µm) for a custom instance")
-		alg          = fs.String("alg", "dfa", "assignment algorithm: dfa, ifa or random")
+		alg          = fs.String("alg", "dfa", "assignment algorithm: dfa, ifa, random or mcmf")
 		tiers        = fs.Int("tiers", 1, "stacking tier count ψ (1 = 2-D IC)")
 		seed         = fs.Int64("seed", 1, "random seed")
 		skipExchange = fs.Bool("skip-exchange", false, "stop after the congestion-driven step")

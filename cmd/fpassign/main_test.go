@@ -38,6 +38,26 @@ func TestRunGeneratedInstance(t *testing.T) {
 	}
 }
 
+func TestRunMCMFInstance(t *testing.T) {
+	// The flow-based engine plugs into the same -alg plumbing as the
+	// heuristics; a full generated-instance run must plan and emit cleanly.
+	dir := t.TempDir()
+	cfg := config{
+		circuit: 1, alg: "mcmf", tiers: 1, seed: 1, skipExchange: true,
+		out: filepath.Join(dir, "plan.copack"),
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := os.ReadFile(filepath.Join(dir, "plan.copack"))
+	if err != nil || len(plan) == 0 {
+		t.Fatalf("plan.copack: %v (%d bytes)", err, len(plan))
+	}
+	if !strings.Contains(string(plan), "order bottom") {
+		t.Error("plan file lacks the planned order")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run(config{circuit: 9, alg: "dfa"}); err == nil {
 		t.Error("bad circuit number accepted")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -8,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"copack/internal/anneal"
@@ -18,6 +20,7 @@ import (
 	"copack/internal/exp"
 	"copack/internal/gen"
 	"copack/internal/obs"
+	"copack/internal/parallel"
 	"copack/internal/power"
 )
 
@@ -32,6 +35,9 @@ var (
 	benchLargeGridN    = 513
 	benchLargeCircuit  = gen.Large
 	benchLargeSchedule = anneal.Schedule{InitialTemp: 0.5, FinalTemp: 1e-2, Cooling: 0.8, MovesPerTemp: 50_000}
+	// benchMCMFReps repeats the flow solves so the assign/mcmf surface's
+	// wall clock is measurable (one solve is microseconds).
+	benchMCMFReps = 200
 )
 
 // benchEntry is one timed (surface, workers) measurement. NsPerMove and
@@ -52,6 +58,11 @@ type benchEntry struct {
 	AllocsPerMove *float64 `json:"allocs_per_move,omitempty"`
 	AllocsPerOp   float64  `json:"allocs_per_op"`
 	BytesPerOp    float64  `json:"bytes_per_op"`
+	// Moves and TargetCost are only set for the exchange/to-target
+	// entries: the anneal moves proposed before reaching TargetCost (the
+	// cold DFA-seeded run's final Eq 3 cost against the shared baseline).
+	Moves      float64 `json:"moves,omitempty"`
+	TargetCost float64 `json:"target_cost,omitempty"`
 }
 
 // benchReport is the BENCH_<date>.json schema. CPUs and GoMaxProcs are
@@ -146,6 +157,48 @@ func defaultSurfaces() ([]benchSurface, error) {
 				return "", err
 			}
 			return res.Format(), nil
+		}},
+		{"assign/mcmf", func(w int, rec obs.Recorder) (string, error) {
+			// Fan the flow solves over the worker pool: each unit is one
+			// (circuit, rep); fingerprints are reduced in index order, so
+			// the surface doubles as the MCMF cross-worker identity gate.
+			circuits := gen.Table1()
+			fps := make([]string, len(circuits))
+			err := parallel.ForEachErr(context.Background(), len(circuits), w, func(_ context.Context, i int) error {
+				p := gen.MustBuild(circuits[i], gen.Options{Seed: 1})
+				var fp string
+				for r := 0; r < benchMCMFReps; r++ {
+					a, err := assign.MCMF(p, assign.MCMFOptions{})
+					if err != nil {
+						return err
+					}
+					next := fingerprintAssignment(a)
+					if fp != "" && next != fp {
+						return fmt.Errorf("assign/mcmf: %s rep %d fingerprint drifted", circuits[i].Name, r)
+					}
+					fp = next
+				}
+				fps[i] = fp
+				return nil
+			})
+			if err != nil {
+				return "", err
+			}
+			return strings.Join(fps, "|"), nil
+		}},
+		{"exchange/warmstart", func(w int, rec obs.Recorder) (string, error) {
+			mcmfA, err := assign.MCMF(p, assign.MCMFOptions{})
+			if err != nil {
+				return "", err
+			}
+			res, err := exchange.Run(p, dfaA, exchange.Options{
+				Seed: 1, Restarts: 4, Workers: w, Recorder: rec,
+				Initial: func(int) *core.Assignment { return mcmfA },
+			})
+			if err != nil {
+				return "", err
+			}
+			return fingerprintAssignment(res.Assignment), nil
 		}},
 	}, nil
 }
@@ -305,6 +358,69 @@ func runBench(outDir string, jsonOut bool, tag, size string) error {
 	})
 	fmt.Printf("%-20s %.1f ns/move, %.3f allocs/move (%d moves)\n",
 		"exchange/move-pricing", ps.NsPerMove, ps.AllocsPerMove, pricingMoves)
+
+	// Warm-start time-to-target: the cold DFA-seeded full anneal fixes the
+	// target Eq 3 cost; the MCMF-warm-started run then anneals tail
+	// schedules of doubling length until it matches that cost. Both runs
+	// share the DFA order as the Eq 3 baseline, so the costs are directly
+	// comparable (see exchange.Options.Initial).
+	runtime.ReadMemStats(&ms0)
+	start = time.Now()
+	cold, err := exchange.Run(p, dfaA, exchange.Options{Seed: 1})
+	if err != nil {
+		return fmt.Errorf("cold-to-target: %v", err)
+	}
+	secs = time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+	target := cold.RestartCosts[0]
+	rep.Entries = append(rep.Entries, benchEntry{
+		Name: "exchange/to-target/dfa-cold", Workers: 1,
+		Seconds: secs, SpeedupVs1: 1,
+		Moves: float64(cold.Stats.Proposed), TargetCost: target,
+		AllocsPerOp: float64(ms1.Mallocs - ms0.Mallocs),
+		BytesPerOp:  float64(ms1.TotalAlloc - ms0.TotalAlloc),
+	})
+	fmt.Printf("%-20s %8.3fs  %8d moves to cost %.6f (full schedule)\n",
+		"to-target/dfa-cold", secs, cold.Stats.Proposed, target)
+
+	mcmfA, err := assign.MCMF(p, assign.MCMFOptions{})
+	if err != nil {
+		return err
+	}
+	sched := anneal.Schedule{}.WithDefaults()
+	warmOpt := exchange.Options{Seed: 1,
+		Initial: func(int) *core.Assignment { return mcmfA }}
+	for k := 1; ; k *= 2 {
+		// A k-temperature tail of the cold schedule: same final
+		// temperature and cooling, starting k cooling steps above it.
+		t0 := sched.FinalTemp / math.Pow(sched.Cooling, float64(k-1))
+		capped := t0 >= sched.InitialTemp
+		if capped {
+			t0 = sched.InitialTemp
+		}
+		warmOpt.Schedule = anneal.Schedule{
+			InitialTemp: t0, FinalTemp: sched.FinalTemp, Cooling: sched.Cooling}
+		runtime.ReadMemStats(&ms0)
+		start = time.Now()
+		warm, err := exchange.Run(p, dfaA, warmOpt)
+		if err != nil {
+			return fmt.Errorf("warm-to-target: %v", err)
+		}
+		secs = time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		if warm.RestartCosts[0] <= target || capped {
+			rep.Entries = append(rep.Entries, benchEntry{
+				Name: "exchange/to-target/mcmf-warm", Workers: 1,
+				Seconds: secs, SpeedupVs1: 1,
+				Moves: float64(warm.Stats.Proposed), TargetCost: target,
+				AllocsPerOp: float64(ms1.Mallocs - ms0.Mallocs),
+				BytesPerOp:  float64(ms1.TotalAlloc - ms0.TotalAlloc),
+			})
+			fmt.Printf("%-20s %8.3fs  %8d moves to cost %.6f (%d-temp tail)\n",
+				"to-target/mcmf-warm", secs, warm.Stats.Proposed, warm.RestartCosts[0], k)
+			break
+		}
+	}
 
 	if jsonOut {
 		name := "BENCH_" + rep.Date

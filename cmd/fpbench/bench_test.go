@@ -49,12 +49,14 @@ func TestBenchJSONSchemaRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("BENCH json does not round-trip into benchReport: %v", err)
 	}
-	// 3 surfaces x len(workerCounts) + the move-pricing entry.
-	wantEntries := 3*len(benchWorkerCounts) + 1
+	// 5 surfaces x len(workerCounts) + move-pricing + the two to-target
+	// entries.
+	wantEntries := 5*len(benchWorkerCounts) + 1 + 2
 	if len(rep.Entries) != wantEntries {
 		t.Errorf("%d entries, want %d", len(rep.Entries), wantEntries)
 	}
 	var pricing *benchEntry
+	toTarget := map[string]*benchEntry{}
 	for i := range rep.Entries {
 		e := &rep.Entries[i]
 		if e.Seconds < 0 {
@@ -65,6 +67,22 @@ func TestBenchJSONSchemaRoundTrip(t *testing.T) {
 		}
 		if e.Name == "exchange/move-pricing" {
 			pricing = e
+		}
+		if strings.HasPrefix(e.Name, "exchange/to-target/") {
+			toTarget[strings.TrimPrefix(e.Name, "exchange/to-target/")] = e
+		}
+	}
+	for _, name := range []string{"dfa-cold", "mcmf-warm"} {
+		e := toTarget[name]
+		if e == nil {
+			t.Errorf("missing exchange/to-target/%s entry", name)
+			continue
+		}
+		if e.Moves <= 0 {
+			t.Errorf("to-target/%s: moves = %v, want > 0", name, e.Moves)
+		}
+		if e.TargetCost == 0 {
+			t.Errorf("to-target/%s: target_cost is unset", name)
 		}
 	}
 	// The alloc columns are part of the schema proper, not an omitempty
@@ -168,8 +186,9 @@ func TestBenchLargeTierSmoke(t *testing.T) {
 	if rep.Size != "large" {
 		t.Errorf("report size %q, want large", rep.Size)
 	}
-	// 3 default + 4 large surfaces per worker count, plus move-pricing.
-	wantEntries := 7*len(benchWorkerCounts) + 1
+	// 5 default + 4 large surfaces per worker count, plus move-pricing and
+	// the two to-target entries.
+	wantEntries := 9*len(benchWorkerCounts) + 1 + 2
 	if len(rep.Entries) != wantEntries {
 		t.Errorf("%d entries, want %d", len(rep.Entries), wantEntries)
 	}

@@ -8,6 +8,7 @@
 //	fpbench -fig 6 -out plots/  # Fig 6: IR maps (writes SVGs)
 //	fpbench -all -out plots/
 //	fpbench -sweep 20 -workers 4   # Table 2 over 20 seeds on 4 workers
+//	fpbench -compare            # four-way engine table + warm-start comparison
 //	fpbench -bench -json        # time the parallel surfaces, write BENCH_<date>.json
 //	fpbench -table 3 -cpuprofile cpu.out -memprofile mem.out   # pprof evidence
 //
@@ -47,6 +48,7 @@ func realMain(args []string) int {
 		sweep     = fs.Int("sweep", 0, "re-run Table 2 over this many seeds and report ratio distributions")
 		sweep3    = fs.Int("sweep3", 0, "re-run Table 3 over this many seeds and report improvement distributions")
 		flipchip  = fs.Bool("flipchip", false, "compare wire-bond vs flip-chip IR-drop (the paper's §2.4 motivation)")
+		compare   = fs.Bool("compare", false, "compare the four assignment engines (Table 2 + MCMF) and cold vs MCMF-warm-started exchange")
 		workers   = fs.Int("workers", runtime.NumCPU(), "worker pool size for tables, sweeps and -bench (results are identical for any value)")
 		bench     = fs.Bool("bench", false, "time the parallel surfaces at 1/2/4/8 workers")
 		jsonOut   = fs.Bool("json", false, "with -bench: also write BENCH_<date>.json to -out")
@@ -235,6 +237,24 @@ func realMain(args []string) int {
 			}
 			fmt.Println("== Wire-bond vs flip-chip IR-drop (paper §2.4) ==")
 			fmt.Println(res.Format())
+			return nil
+		})
+	}
+	if *all || *compare {
+		any = true
+		run("compare", func() error {
+			res, err := exp.CompareAssignWith(*seed, 10, harness)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Assignment engines: random / IFA / DFA / MCMF ==")
+			fmt.Println(res.Format())
+			ws, err := exp.WarmStartWith(*seed, harness)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Exchange warm start: cold (DFA) vs MCMF-seeded, shared Eq 3 baseline ==")
+			fmt.Println(ws.Format())
 			return nil
 		})
 	}

@@ -80,6 +80,22 @@ func TestFig13(t *testing.T) {
 	}
 }
 
+func TestCompareFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-compare runs twenty annealers; skipped with -short")
+	}
+	var code int
+	out := captureStdout(t, func() { code = realMain([]string{"-compare"}) })
+	if code != 0 {
+		t.Fatalf("realMain(-compare) = %d, want 0", code)
+	}
+	for _, want := range []string{"MCMF", "warm start", "avg cost delta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestWorkersFlagAccepted(t *testing.T) {
 	// Any worker count must parse and produce the same tables; the cheap
 	// Table 1 path proves the flag plumbs through without crashing.

@@ -144,6 +144,11 @@ const (
 	IFA
 	// RandomAssign is the monotonic-legal random baseline.
 	RandomAssign
+	// MCMF is the min-cost max-flow engine: an exact bipartite
+	// net-to-slot matching under congestion- and IR-aware edge costs,
+	// uncrossed into a monotonic-legal order. It doubles as a warm start
+	// for the exchange step (see ExchangeOptions.Initial).
+	MCMF
 )
 
 // String implements fmt.Stringer.
@@ -155,6 +160,8 @@ func (a Algorithm) String() string {
 		return "ifa"
 	case RandomAssign:
 		return "random"
+	case MCMF:
+		return "mcmf"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -171,8 +178,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return IFA, nil
 	case "random":
 		return RandomAssign, nil
+	case "mcmf":
+		return MCMF, nil
 	default:
-		return 0, fmt.Errorf("copack: unknown algorithm %q (want dfa, ifa or random)", s)
+		return 0, fmt.Errorf("copack: unknown algorithm %q (want dfa, ifa, random or mcmf)", s)
 	}
 }
 
@@ -355,6 +364,8 @@ func PlanContext(ctx context.Context, p *Problem, opt Options) (res *Result, err
 		initial, err = assign.IFA(p)
 	case RandomAssign:
 		initial, err = assign.Random(p, rand.New(rand.NewSource(opt.Seed)))
+	case MCMF:
+		initial, err = assign.MCMF(p, assign.MCMFOptions{})
 	default:
 		err = fmt.Errorf("copack: unknown algorithm %v", opt.Algorithm)
 	}

@@ -100,7 +100,7 @@ func TestPlanNilProblem(t *testing.T) {
 }
 
 func TestAlgorithmParsing(t *testing.T) {
-	for _, name := range []string{"dfa", "ifa", "random"} {
+	for _, name := range []string{"dfa", "ifa", "random", "mcmf"} {
 		alg, err := ParseAlgorithm(name)
 		if err != nil || alg.String() != name {
 			t.Errorf("round trip %q failed: %v %v", name, alg, err)
@@ -124,6 +124,8 @@ func TestAlgorithmParsingLenient(t *testing.T) {
 	}{
 		{"IFA", IFA, true},
 		{" dfa ", DFA, true},
+		{"MCMF", MCMF, true},
+		{" mcmf\n", MCMF, true},
 		{"\tRandom\n", RandomAssign, true},
 		{"DfA", DFA, true},
 		{"", 0, false},

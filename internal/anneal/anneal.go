@@ -75,6 +75,12 @@ type Schedule struct {
 	StallPlateaus int
 }
 
+// WithDefaults returns the schedule with every zero field replaced by the
+// engine default — the exact schedule a zero-value Schedule runs. Callers
+// deriving schedules from the defaults (e.g. tail segments of the standard
+// cooling ramp) resolve them here instead of hardcoding the constants.
+func (s Schedule) WithDefaults() Schedule { return s.withDefaults() }
+
 func (s Schedule) withDefaults() Schedule {
 	if s.InitialTemp == 0 {
 		s.InitialTemp = 1.0

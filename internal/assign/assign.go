@@ -8,6 +8,7 @@ package assign
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"copack/internal/bga"
 	"copack/internal/core"
@@ -266,11 +267,18 @@ func DFAQuadrantScratch(q *bga.Quadrant, opt DFAOptions, s *Scratch) []netlist.I
 	return order
 }
 
+// dfaScratchPool recycles Fenwick arenas across DFA calls, so copack.Plan's
+// assignment stage is allocation-free warm: once the pool is primed, a DFA
+// call allocates only the four order slices and the assignment wrapper.
+var dfaScratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
 // DFA runs the Density-Interval-Based assignment on every quadrant with the
-// given options. One scratch arena is shared across the four quadrants.
+// given options. One scratch arena — pooled across calls — is shared by the
+// four quadrants.
 func DFA(p *core.Problem, opt DFAOptions) (*core.Assignment, error) {
-	var s Scratch
+	s := dfaScratchPool.Get().(*Scratch)
+	defer dfaScratchPool.Put(s)
 	return perQuadrant(p, func(q *bga.Quadrant) []netlist.ID {
-		return DFAQuadrantScratch(q, opt, &s)
+		return DFAQuadrantScratch(q, opt, s)
 	})
 }

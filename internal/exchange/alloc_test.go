@@ -22,7 +22,7 @@ func TestPricedMoveZeroAllocs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st := newState(p, a, Options{Seed: 1}.withDefaults(p))
+		st := newState(p, a, Options{Seed: 1}.withDefaults(p), nil)
 		rng := rand.New(rand.NewSource(1))
 		// Warm up past lazy initialization and across a resync boundary.
 		for k := 0; k < 2*resyncInterval; k++ {

@@ -61,6 +61,18 @@ type Options struct {
 	// Bond is the bonding-wire geometry used for reporting; zero value
 	// takes stack.DefaultBondSpec.
 	Bond stack.BondSpec
+	// Initial, when non-nil, supplies a warm-start order per restart:
+	// restart k anneals from Initial(k) instead of the run's initial
+	// argument (a nil return falls back to the initial argument, so a
+	// single hook can warm-start some restarts and not others). Every
+	// Eq 3 baseline — the Eq 2 section counts, the Δ_IR and ω
+	// normalizers, the Before metrics and the interrupted-run fallback —
+	// stays anchored to the initial argument, so restart costs remain
+	// mutually comparable and comparable with a cold run from the same
+	// initial (see Score). Returned orders must be monotonic-legal for
+	// the problem; Run validates them. A nil Initial is the cold path,
+	// bit-identical to the behavior before the hook existed.
+	Initial func(restart int) *core.Assignment
 	// Restarts runs this many independently seeded anneals (restart k
 	// gets seed Seed+k, per anneal.SplitSeed) and keeps the one whose
 	// final order scores the lowest Eq 3 cost, breaking ties toward the
@@ -296,8 +308,21 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 	// cheap next to the anneals, and doing them up front (in restart
 	// order) keeps the whole run a pure function of the options.
 	states := make([]*state, restarts)
+	starts := make([]*core.Assignment, restarts) // warm starts; nil = the initial argument
+	startCosts := make([]float64, restarts)
 	for k := range states {
-		states[k] = newState(p, initial, opt)
+		if opt.Initial != nil {
+			if w := opt.Initial(k); w != nil {
+				if err := core.CheckMonotonic(p, w); err != nil {
+					return nil, fmt.Errorf("exchange: warm start for restart %d: %v", k, err)
+				}
+				starts[k] = w
+			}
+		}
+		states[k] = newState(p, initial, opt, starts[k])
+		// The per-restart floor for the interrupted-run fallback: an
+		// interrupted anneal must never report worse than its start.
+		startCosts[k] = states[k].cost()
 	}
 
 	before, err := measure(p, initial, states[0], opt)
@@ -305,7 +330,6 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 		return nil, err
 	}
 
-	cost0 := states[0].cost()
 	stats, err := anneal.MinimizeRestarts(ctx, restarts, opt.Workers, func(k int) (anneal.Target, float64) {
 		return states[k], states[k].cost()
 	}, sched, opt.Seed)
@@ -321,12 +345,16 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 	win := 0
 	for k, st := range states {
 		st.trk.resyncProxy() // clear bounded drift before comparing costs
-		if stats[k].Interrupted && st.cost() > cost0 {
+		if stats[k].Interrupted && st.cost() > startCosts[k] {
 			// The cut caught this anneal mid-high-temperature, in a
-			// state Eq 3 scores worse than the start. The initial order
-			// is the better answer — an interrupted exchange must never
-			// lose ground.
-			st.a = initial.Clone()
+			// state Eq 3 scores worse than its start. The start order
+			// (warm start, or the initial argument) is the better
+			// answer — an interrupted exchange must never lose ground.
+			if starts[k] != nil {
+				st.a = starts[k].Clone()
+			} else {
+				st.a = initial.Clone()
+			}
 		}
 		terms[k] = eq3Terms(p, st, opt)
 		costs[k] = terms[k].Total
@@ -368,15 +396,29 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 	return res, nil
 }
 
-// newState builds one annealing state over a private clone of the initial
-// assignment. Each restart gets its own: states mutate freely during the
-// anneal and must not share anything.
-func newState(p *core.Problem, initial *core.Assignment, opt Options) *state {
-	st := &state{p: p, a: initial.Clone(), opt: opt,
+// newState builds one annealing state over a private clone of its start
+// order — the initial assignment, or a warm start (start non-nil), whose
+// Eq 3 cost stays measured against the initial argument's baselines. Each
+// restart gets its own state: states mutate freely during the anneal and
+// must not share anything.
+func newState(p *core.Problem, initial *core.Assignment, opt Options, start *core.Assignment) *state {
+	warm := start != nil
+	if !warm {
+		start = initial
+	}
+	st := &state{p: p, a: start.Clone(), opt: opt,
 		lambda: opt.Lambda, rho: opt.Rho, phi: opt.Phi}
 	for _, side := range bga.Sides() {
-		st.sections[side] = newSectionData(p, side, st.a.Slots[side], opt.TopLineOnly)
-		st.idCache[side] = 0 // initial assignment scores 0 by definition
+		// The section baseline always comes from the initial argument;
+		// for a warm start the live caches are then repointed at the
+		// start order, so ID keeps measuring growth versus initial.
+		st.sections[side] = newSectionData(p, side, initial.Slots[side], opt.TopLineOnly)
+		if warm {
+			st.sections[side].reanchor(st.a.Slots[side])
+			st.idCache[side] = st.sections[side].worst()
+		} else {
+			st.idCache[side] = 0 // the initial assignment scores 0 by definition
+		}
 		slots := st.a.Slots[side]
 		if len(slots) >= 2 {
 			st.sides = append(st.sides, side)
@@ -440,6 +482,25 @@ func eq3Terms(p *core.Problem, st *state, opt Options) eq3Breakdown {
 // selectionCost is eq3Terms' total (kept for the drift tests).
 func selectionCost(p *core.Problem, st *state, opt Options) float64 {
 	return eq3Terms(p, st, opt).Total
+}
+
+// Score recomputes the Eq 3 cost of order a in the frame anchored at
+// baseline — the quantity RunContext reports in RestartCosts when baseline
+// is that run's initial argument. Two runs that share a baseline (for
+// example a cold DFA-seeded run and an MCMF-warm-started run whose Options
+// passed the same initial) therefore get directly comparable scores, which
+// Eq 3's initial-relative ID term and Δ_IR/ω normalizers otherwise forbid.
+// Both orders must be monotonic-legal for the problem.
+func Score(p *core.Problem, baseline, a *core.Assignment, opt Options) (float64, error) {
+	if err := core.CheckMonotonic(p, baseline); err != nil {
+		return 0, fmt.Errorf("exchange: score baseline: %v", err)
+	}
+	if err := core.CheckMonotonic(p, a); err != nil {
+		return 0, fmt.Errorf("exchange: score order: %v", err)
+	}
+	opt = opt.withDefaults(p)
+	st := newState(p, baseline, opt, a)
+	return eq3Terms(p, st, opt).Total, nil
 }
 
 func measure(p *core.Problem, a *core.Assignment, st *state, opt Options) (Metrics, error) {

@@ -163,7 +163,7 @@ func PricingBench(p *core.Problem, initial *core.Assignment, opt Options, moves 
 		return PricingStats{}, fmt.Errorf("exchange: PricingBench needs at least 1 move, got %d", moves)
 	}
 	opt = opt.withDefaults(p)
-	st := newState(p, initial, opt)
+	st := newState(p, initial, opt, nil)
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	var before, after runtime.MemStats

@@ -19,7 +19,7 @@ func newTestState(t *testing.T, circuit int, genSeed int64, tiers int, opt Optio
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newState(p, a, opt.withDefaults(p))
+	return newState(p, a, opt.withDefaults(p), nil)
 }
 
 // checkSections compares every incremental Eq 2 cache of a state against

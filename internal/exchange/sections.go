@@ -132,6 +132,39 @@ func newSectionData(p *core.Problem, side bga.Side, order []netlist.ID, topOnly 
 	return sd
 }
 
+// reanchor repoints the live caches at a different current order while
+// keeping the Eq 2 growth baseline: cur, the delimiter ordinals and the
+// growth multiset are recomputed for order, initial stays untouched. This
+// is the warm-start hook's primitive — a state can start annealing from one
+// order while its ID term (and hence its Eq 3 cost) stays measured against
+// the baseline the sectionData was built from. A reanchor to the baseline
+// order itself is a no-op.
+func (sd *sectionData) reanchor(order []netlist.ID) {
+	for i := range sd.bucket {
+		sd.bucket[i] = 0
+	}
+	max := 0 // per line Σcur = Σinitial (the passing-wire set is order-independent), so the max growth is ≥ 0 whenever sections exist
+	for k, y := range sd.lines {
+		c := sd.counts(order, y)
+		copy(sd.cur[k], c)
+		for i := range c {
+			g := c[i] - sd.initial[k][i]
+			sd.bucket[g+sd.off]++
+			if g > max {
+				max = g
+			}
+		}
+	}
+	sd.msMax = max
+	seen := make([]int, len(sd.lineIdx))
+	for _, id := range order {
+		if y := sd.row(id); y > 0 && sd.lineIdx[y] >= 0 {
+			seen[y]++
+			sd.setOrd(id, seen[y])
+		}
+	}
+}
+
 // row returns the ball line of a net (0 if absent from the quadrant).
 func (sd *sectionData) row(id netlist.ID) int {
 	if sd.rowSparse != nil {

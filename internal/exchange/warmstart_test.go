@@ -1,0 +1,188 @@
+package exchange
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"copack/internal/assign"
+	"copack/internal/bga"
+	"copack/internal/core"
+	"copack/internal/gen"
+)
+
+func warmProblem(t *testing.T) (*core.Problem, *core.Assignment, *core.Assignment) {
+	t.Helper()
+	p := gen.MustBuild(gen.Table1()[0], gen.Options{Seed: 1})
+	dfaA, err := assign.DFA(p, assign.DFAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcmfA, err := assign.MCMF(p, assign.MCMFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, dfaA, mcmfA
+}
+
+func sameAssignment(a, b *core.Assignment) bool {
+	for _, side := range bga.Sides() {
+		if len(a.Slots[side]) != len(b.Slots[side]) {
+			return false
+		}
+		for i := range a.Slots[side] {
+			if a.Slots[side][i] != b.Slots[side][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestWarmStartNilHookBitIdentical pins the cold path: a hook that returns
+// nil for every restart must reproduce the no-hook run exactly — same
+// winning order, same restart costs, same stats.
+func TestWarmStartNilHookBitIdentical(t *testing.T) {
+	p, dfaA, _ := warmProblem(t)
+	opt := Options{Seed: 7, Restarts: 3, Workers: 2}
+	cold, err := Run(p, dfaA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Initial = func(int) *core.Assignment { return nil }
+	hooked, err := Run(p, dfaA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameAssignment(cold.Assignment, hooked.Assignment) {
+		t.Error("nil-returning hook changed the winning assignment")
+	}
+	if cold.Restart != hooked.Restart {
+		t.Errorf("winning restart %d vs %d", cold.Restart, hooked.Restart)
+	}
+	for k := range cold.RestartCosts {
+		if cold.RestartCosts[k] != hooked.RestartCosts[k] {
+			t.Errorf("restart %d cost %v vs %v", k, cold.RestartCosts[k], hooked.RestartCosts[k])
+		}
+	}
+	if cold.Stats != hooked.Stats {
+		t.Errorf("stats diverged: %+v vs %+v", cold.Stats, hooked.Stats)
+	}
+}
+
+// TestSectionDataReanchor is the differential test for the warm-start
+// primitive: after reanchoring to any legal order, the incremental caches
+// must agree with the from-scratch Eq 2 computation against the original
+// baseline, and reanchoring back to the baseline must restore growth 0.
+func TestSectionDataReanchor(t *testing.T) {
+	p, dfaA, mcmfA := warmProblem(t)
+	for _, side := range bga.Sides() {
+		base := dfaA.Slots[side]
+		sd := newSectionData(p, side, base, false)
+		warm := mcmfA.Slots[side]
+		sd.reanchor(warm)
+		if got, want := sd.worst(), sd.id(warm); got != want {
+			t.Errorf("%v: cached worst %d, from-scratch id %d", side, got, want)
+		}
+		// The multiset must account for every watched section exactly once.
+		var total, sections int32
+		for _, b := range sd.bucket {
+			total += b
+		}
+		for _, c := range sd.cur {
+			sections += int32(len(c))
+		}
+		if total != sections {
+			t.Errorf("%v: growth multiset holds %d entries, want %d sections", side, total, sections)
+		}
+		// Delimiter ordinals must match a fresh walk of the warm order.
+		fresh := newSectionData(p, side, warm, false)
+		for _, id := range warm {
+			if sd.ord(id) != fresh.ord(id) {
+				t.Errorf("%v: net %d ordinal %d after reanchor, fresh build says %d",
+					side, id, sd.ord(id), fresh.ord(id))
+			}
+		}
+		sd.reanchor(base)
+		if got := sd.worst(); got != 0 {
+			t.Errorf("%v: reanchor back to baseline leaves worst %d, want 0", side, got)
+		}
+	}
+}
+
+// TestWarmStartRun exercises the hook end to end: the warm run must be
+// legal, its restart costs must be measured against the shared DFA baseline
+// (so Score reproduces them exactly), and a restart-selective hook works.
+func TestWarmStartRun(t *testing.T) {
+	p, dfaA, mcmfA := warmProblem(t)
+	opt := Options{Seed: 3, Restarts: 2, Workers: 1,
+		Initial: func(k int) *core.Assignment {
+			if k == 0 {
+				return mcmfA
+			}
+			return nil // restart 1 anneals cold from dfaA
+		}}
+	res, err := Run(p, dfaA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Legal {
+		t.Fatal("warm-started run produced an illegal order")
+	}
+	if err := core.CheckMonotonic(p, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RestartCosts) != 2 {
+		t.Fatalf("RestartCosts length %d, want 2", len(res.RestartCosts))
+	}
+	got, err := Score(p, dfaA, res.Assignment, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res.RestartCosts[res.Restart]; got != want {
+		t.Errorf("Score of winning order %v, RestartCosts[%d] %v — baselines diverged",
+			got, res.Restart, want)
+	}
+	for k, c := range res.RestartCosts {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Errorf("restart %d cost %v", k, c)
+		}
+	}
+}
+
+// TestWarmStartIllegalRejected: the hook's output is validated, not trusted.
+func TestWarmStartIllegalRejected(t *testing.T) {
+	p, dfaA, _ := warmProblem(t)
+	bad := dfaA.Clone()
+	s := bad.Slots[bga.Top]
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+	if core.IsMonotonic(p, bad) {
+		t.Fatal("reversed top quadrant is unexpectedly legal; pick a bigger circuit")
+	}
+	_, err := Run(p, dfaA, Options{Seed: 1, Initial: func(int) *core.Assignment { return bad }})
+	if err == nil {
+		t.Fatal("illegal warm start accepted")
+	}
+}
+
+// TestWarmStartInterruptedKeepsWarmOrder: an anneal cancelled before any
+// move must hand back the warm-start order (never a worse intermediate, and
+// not the cold initial — the fallback is anchored per restart).
+func TestWarmStartInterruptedKeepsWarmOrder(t *testing.T) {
+	p, dfaA, mcmfA := warmProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, p, dfaA, Options{Seed: 1,
+		Initial: func(int) *core.Assignment { return mcmfA }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("pre-cancelled context did not interrupt the run")
+	}
+	if !sameAssignment(res.Assignment, mcmfA) {
+		t.Error("interrupted warm run did not return the warm-start order")
+	}
+}

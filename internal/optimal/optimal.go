@@ -45,16 +45,9 @@ func countOrders(sizes []int, limit int) int {
 	return total
 }
 
-// Quadrant exhaustively searches one quadrant. maxOrders bounds the
-// enumeration (default 2_000_000); instances beyond the budget return an
-// error instead of silently truncating the search.
-func Quadrant(p *core.Problem, side bga.Side, maxOrders int) (*Result, error) {
-	if maxOrders <= 0 {
-		maxOrders = 2_000_000
-	}
-	q := p.Pkg.Quadrant(side)
-	var queues [][]netlist.ID
-	var sizes []int
+// legalQueues returns the per-line net sequences (each in ball order) whose
+// interleavings are exactly the quadrant's monotonic-legal orders.
+func legalQueues(q *bga.Quadrant) (queues [][]netlist.ID, sizes []int) {
 	for y := 1; y <= q.NumRows(); y++ {
 		row := q.Row(y)
 		var nets []netlist.ID
@@ -68,6 +61,18 @@ func Quadrant(p *core.Problem, side bga.Side, maxOrders int) (*Result, error) {
 			sizes = append(sizes, len(nets))
 		}
 	}
+	return queues, sizes
+}
+
+// Quadrant exhaustively searches one quadrant. maxOrders bounds the
+// enumeration (default 2_000_000); instances beyond the budget return an
+// error instead of silently truncating the search.
+func Quadrant(p *core.Problem, side bga.Side, maxOrders int) (*Result, error) {
+	if maxOrders <= 0 {
+		maxOrders = 2_000_000
+	}
+	q := p.Pkg.Quadrant(side)
+	queues, sizes := legalQueues(q)
 	if n := countOrders(sizes, maxOrders); n > maxOrders {
 		return nil, fmt.Errorf("optimal: %v quadrant has more than %d legal orders", side, maxOrders)
 	}
@@ -105,6 +110,76 @@ func Quadrant(p *core.Problem, side bga.Side, maxOrders int) (*Result, error) {
 		}
 	}
 	walk()
+	if best.Order == nil {
+		return nil, fmt.Errorf("optimal: %v quadrant has no nets", side)
+	}
+	return best, nil
+}
+
+// CostResult is MinOrderCost's answer.
+type CostResult struct {
+	// Order is a legal order minimizing the caller's cost (the first
+	// minimum in enumeration order, so ties are deterministic).
+	Order []netlist.ID
+	// Cost is its score.
+	Cost int64
+	// Explored is the number of legal orders enumerated.
+	Explored int
+}
+
+// MinOrderCost exhaustively minimizes an arbitrary integer order cost over
+// every monotonic-legal order of one quadrant — the oracle the network-flow
+// assignment tests score the MCMF engine against. maxOrders guards the
+// multinomial blow-up exactly like Quadrant; a cost error aborts the search.
+func MinOrderCost(p *core.Problem, side bga.Side, maxOrders int, cost func(order []netlist.ID) (int64, error)) (*CostResult, error) {
+	if maxOrders <= 0 {
+		maxOrders = 2_000_000
+	}
+	q := p.Pkg.Quadrant(side)
+	queues, sizes := legalQueues(q)
+	if n := countOrders(sizes, maxOrders); n > maxOrders {
+		return nil, fmt.Errorf("optimal: %v quadrant has more than %d legal orders", side, maxOrders)
+	}
+
+	total := q.NumNets()
+	order := make([]netlist.ID, 0, total)
+	pos := make([]int, len(queues))
+	best := &CostResult{}
+	var walkErr error
+
+	var walk func()
+	walk = func() {
+		if walkErr != nil {
+			return
+		}
+		if len(order) == total {
+			c, err := cost(order)
+			if err != nil {
+				walkErr = err
+				return
+			}
+			if best.Explored == 0 || c < best.Cost {
+				best.Cost = c
+				best.Order = append(best.Order[:0], order...)
+			}
+			best.Explored++
+			return
+		}
+		for i := range queues {
+			if pos[i] == len(queues[i]) {
+				continue
+			}
+			order = append(order, queues[i][pos[i]])
+			pos[i]++
+			walk()
+			pos[i]--
+			order = order[:len(order)-1]
+		}
+	}
+	walk()
+	if walkErr != nil {
+		return nil, walkErr
+	}
 	if best.Order == nil {
 		return nil, fmt.Errorf("optimal: %v quadrant has no nets", side)
 	}

@@ -1,12 +1,14 @@
 package optimal
 
 import (
+	"errors"
 	"testing"
 
 	"copack/internal/assign"
 	"copack/internal/bga"
 	"copack/internal/core"
 	"copack/internal/gen"
+	"copack/internal/netlist"
 	"copack/internal/route"
 )
 
@@ -90,5 +92,48 @@ func TestDFAOptimalityGap(t *testing.T) {
 	}
 	if worstGap > 1 {
 		t.Errorf("DFA's worst optimality gap = %d density units, want <= 1", worstGap)
+	}
+}
+
+// MinOrderCost must agree with Quadrant when the caller's cost is the
+// routed max density itself, enumerate the same number of orders, and
+// surface budget overruns and cost errors instead of truncating.
+func TestMinOrderCostMatchesQuadrant(t *testing.T) {
+	p := gen.Fig5()
+	dens, err := Quadrant(p, bga.Bottom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinOrderCost(p, bga.Bottom, 0, func(order []netlist.ID) (int64, error) {
+		s, err := route.EvaluateQuadrant(p, bga.Bottom, order)
+		if err != nil {
+			return 0, err
+		}
+		return int64(s.MaxDensity), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explored != dens.Explored {
+		t.Errorf("explored %d orders, want %d", res.Explored, dens.Explored)
+	}
+	if res.Cost != int64(dens.MaxDensity) {
+		t.Errorf("min cost %d, want optimal density %d", res.Cost, dens.MaxDensity)
+	}
+	if err := core.CheckMonotonicQuadrant(p.Pkg.Quadrant(bga.Bottom), res.Order); err != nil {
+		t.Errorf("minimizing order illegal: %v", err)
+	}
+}
+
+func TestMinOrderCostGuards(t *testing.T) {
+	if _, err := MinOrderCost(gen.Fig13(), bga.Bottom, 1_000_000,
+		func([]netlist.ID) (int64, error) { return 0, nil }); err == nil {
+		t.Error("over-budget enumeration accepted")
+	}
+	// A cost error aborts the walk and propagates.
+	wantErr := errors.New("boom")
+	if _, err := MinOrderCost(gen.Fig5(), bga.Bottom, 0,
+		func([]netlist.ID) (int64, error) { return 0, wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("cost error not propagated: %v", err)
 	}
 }

@@ -28,7 +28,7 @@ type PlanRequest struct {
 // exposes. Unknown fields are rejected, so clients discover typos instead
 // of silently running defaults.
 type RequestOptions struct {
-	// Algorithm is dfa (default), ifa or random; case-insensitive.
+	// Algorithm is dfa (default), ifa, random or mcmf; case-insensitive.
 	Algorithm string `json:"algorithm,omitempty"`
 	// DFACut is the paper's cut-line parameter n (default 1).
 	DFACut int `json:"dfa_cut,omitempty"`
