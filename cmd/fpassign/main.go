@@ -44,6 +44,8 @@ func realMain(args []string) int {
 		irPath       = fs.String("irmap", "", "write the IR-drop heat map to this SVG file")
 		timeout      = fs.Duration("timeout", 0, "planning time budget (e.g. 30s); on expiry the best-so-far plan is reported (0 = none)")
 		metricsPath  = fs.String("metrics", "", "write the run's telemetry snapshot (counters, gauges, phase timings) to this JSON file")
+		portBudget   = fs.Int("portfolio", 0, "adaptive annealing portfolio: restart budget allocated across the default arm set by a deterministic bandit (0 = off, fixed single-schedule exchange)")
+		portConfig   = fs.String("portfolio-config", "", "JSON portfolio declaration (arms/budget/explore); overrides -portfolio")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,6 +56,7 @@ func realMain(args []string) int {
 		alg: *alg, tiers: *tiers, seed: *seed, skipExchange: *skipExchange,
 		improveVias: *improveVias, runDRC: *runDRC, svgPath: *svgPath, irPath: *irPath,
 		timeout: *timeout, metricsPath: *metricsPath,
+		portBudget: *portBudget, portConfig: *portConfig,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fpassign:", err)
@@ -76,6 +79,8 @@ type config struct {
 	svgPath, irPath string
 	timeout         time.Duration
 	metricsPath     string
+	portBudget      int
+	portConfig      string
 }
 
 func run(cfg config) error {
@@ -121,6 +126,17 @@ func run(cfg config) error {
 		Seed:         seed,
 		Budget:       cfg.timeout,
 	}
+	if cfg.portConfig != "" {
+		data, err := os.ReadFile(cfg.portConfig)
+		if err != nil {
+			return err
+		}
+		if planOpt.Portfolio, err = copack.ParsePortfolioConfig(data); err != nil {
+			return err
+		}
+	} else if cfg.portBudget > 0 {
+		planOpt.Portfolio = copack.DefaultPortfolio(cfg.portBudget)
+	}
 	var collector *copack.MetricsCollector
 	if cfg.metricsPath != "" {
 		// Only set Recorder when asked: a nil interface keeps the whole
@@ -164,6 +180,11 @@ func run(cfg config) error {
 	if res.Exchange != nil {
 		fmt.Printf("anneal        : %d proposed, %d accepted, %d uphill\n",
 			res.Exchange.Stats.Proposed, res.Exchange.Stats.Accepted, res.Exchange.Stats.Uphill)
+		if out := res.Exchange.Portfolio; out != nil {
+			winner := planOpt.Portfolio.Arms[out.BestArm]
+			fmt.Printf("portfolio     : %d restarts over %d arms; winner %q (%d pulls), trace %#016x\n",
+				out.Total, len(out.Arms), winner.Name, out.Arms[out.BestArm].Pulls, out.TraceHash())
+		}
 	}
 
 	if cfg.improveVias {

@@ -144,3 +144,33 @@ func TestRealMainUnwritableOutputs(t *testing.T) {
 		}
 	}
 }
+
+func TestRunPortfolio(t *testing.T) {
+	// -portfolio N swaps the exchange's fixed restart loop for the default
+	// adaptive arm set; the run must complete and print the winner arm.
+	cfg := config{circuit: 1, alg: "dfa", tiers: 1, seed: 1, portBudget: 6}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPortfolioConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "port.json")
+	if err := os.WriteFile(good, []byte(`{"arms":[{"name":"a"},{"name":"b","move_scale":0.5}],"budget":4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{circuit: 1, alg: "dfa", tiers: 1, seed: 1, portConfig: good}); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"arms":[{"name":"a"},{"name":"a"}],"budget":4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(config{circuit: 1, alg: "dfa", tiers: 1, seed: 1, portConfig: bad}); err == nil {
+		t.Error("duplicate-arm portfolio config accepted")
+	}
+	if err := run(config{circuit: 1, alg: "dfa", tiers: 1, seed: 1, portConfig: filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing portfolio config file accepted")
+	}
+}

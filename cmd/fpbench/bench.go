@@ -21,6 +21,7 @@ import (
 	"copack/internal/gen"
 	"copack/internal/obs"
 	"copack/internal/parallel"
+	"copack/internal/portfolio"
 	"copack/internal/power"
 )
 
@@ -38,6 +39,9 @@ var (
 	// benchMCMFReps repeats the flow solves so the assign/mcmf surface's
 	// wall clock is measurable (one solve is microseconds).
 	benchMCMFReps = 200
+	// benchPortfolioBudget is the restart budget for the anneal/portfolio
+	// surface and the fixed-vs-adaptive comparison entries.
+	benchPortfolioBudget = 8
 )
 
 // benchEntry is one timed (surface, workers) measurement. NsPerMove and
@@ -199,6 +203,21 @@ func defaultSurfaces() ([]benchSurface, error) {
 				return "", err
 			}
 			return fingerprintAssignment(res.Assignment), nil
+		}},
+		{"anneal/portfolio", func(w int, rec obs.Recorder) (string, error) {
+			// The adaptive bandit over the default arm set. The fingerprint
+			// concatenates the winning order with the arm-allocation trace
+			// hash, so a scheduling-dependent bandit decision — not just a
+			// different final assignment — trips the identity gate.
+			res, err := exchange.Run(p, dfaA, exchange.Options{
+				Seed: 1, Workers: w, Recorder: rec,
+				Portfolio: portfolio.Default(benchPortfolioBudget),
+			})
+			if err != nil {
+				return "", err
+			}
+			return fingerprintAssignment(res.Assignment) +
+				"/" + fmt.Sprintf("%016x", res.Portfolio.TraceHash()), nil
 		}},
 	}, nil
 }
@@ -420,6 +439,88 @@ func runBench(outDir string, jsonOut bool, tag, size string) error {
 				"to-target/mcmf-warm", secs, warm.Stats.Proposed, warm.RestartCosts[0], k)
 			break
 		}
+	}
+
+	// Fixed budget versus adaptive portfolio at equal total move budget: the
+	// bandit run spends its restart budget across the default arm set; the
+	// fixed baseline reruns the single legacy schedule, topped up with extra
+	// restarts until it has proposed at least as many moves as the portfolio.
+	// The bench fails outright if the adaptive Eq 3 cost is worse — the
+	// portfolio's value claim is a gate, not a printout.
+	budget := benchPortfolioBudget
+	runtime.ReadMemStats(&ms0)
+	start = time.Now()
+	adaptive, err := exchange.Run(p, dfaA, exchange.Options{
+		Seed: 1, Portfolio: portfolio.Default(budget)})
+	if err != nil {
+		return fmt.Errorf("portfolio-adaptive: %v", err)
+	}
+	secs = time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+	var adaptiveMoves int64
+	for _, al := range adaptive.Portfolio.Trace {
+		adaptiveMoves += int64(al.Proposed)
+	}
+	adaptiveCost := adaptive.RestartCosts[adaptive.Restart]
+	rep.Entries = append(rep.Entries, benchEntry{
+		Name: "anneal/portfolio/adaptive", Workers: 1,
+		Seconds: secs, SpeedupVs1: 1,
+		Moves: float64(adaptiveMoves), TargetCost: adaptiveCost,
+		AllocsPerOp: float64(ms1.Mallocs - ms0.Mallocs),
+		BytesPerOp:  float64(ms1.TotalAlloc - ms0.TotalAlloc),
+	})
+	winner := adaptive.Portfolio.BestArm
+	fmt.Printf("%-20s %8.3fs  %8d moves to cost %.6f (winner arm %d over %d pulls)\n",
+		"portfolio/adaptive", secs, adaptiveMoves, adaptiveCost, winner, adaptive.Portfolio.Total)
+
+	runFixed := func(restarts int) (float64, int64, benchEntry, error) {
+		col := obs.NewCollector()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		res, err := exchange.Run(p, dfaA, exchange.Options{
+			Seed: 1, Restarts: restarts, Recorder: col})
+		if err != nil {
+			return 0, 0, benchEntry{}, err
+		}
+		secs := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		snap := col.Snapshot()
+		var moves int64
+		for k := 0; k < restarts; k++ {
+			moves += snap.Counters[fmt.Sprintf("exchange/restart%d/moves_priced", k)]
+		}
+		cost := res.RestartCosts[res.Restart]
+		return cost, moves, benchEntry{
+			Name: "anneal/portfolio/fixed", Workers: 1,
+			Seconds: secs, SpeedupVs1: 1,
+			Moves: float64(moves), TargetCost: cost,
+			AllocsPerOp: float64(ms1.Mallocs - ms0.Mallocs),
+			BytesPerOp:  float64(ms1.TotalAlloc - ms0.TotalAlloc),
+		}, nil
+	}
+	fixedCost, fixedMoves, fixedEntry, err := runFixed(budget)
+	if err != nil {
+		return fmt.Errorf("portfolio-fixed: %v", err)
+	}
+	restarts := budget
+	for try := 0; fixedMoves < adaptiveMoves && try < 3; try++ {
+		// Top up from the observed per-restart move rate; ceil so one rerun
+		// normally lands at or past the portfolio's move count.
+		per := fixedMoves / int64(restarts)
+		if per <= 0 {
+			break
+		}
+		restarts += int((adaptiveMoves - fixedMoves + per - 1) / per)
+		if fixedCost, fixedMoves, fixedEntry, err = runFixed(restarts); err != nil {
+			return fmt.Errorf("portfolio-fixed: %v", err)
+		}
+	}
+	rep.Entries = append(rep.Entries, fixedEntry)
+	fmt.Printf("%-20s %8.3fs  %8d moves to cost %.6f (%d legacy restarts)\n",
+		"portfolio/fixed", fixedEntry.Seconds, fixedMoves, fixedCost, restarts)
+	if adaptiveCost > fixedCost {
+		return fmt.Errorf("anneal/portfolio: adaptive Eq 3 cost %.6f exceeds the fixed-budget cost %.6f (fixed %d restarts / %d moves vs adaptive %d moves)",
+			adaptiveCost, fixedCost, restarts, fixedMoves, adaptiveMoves)
 	}
 
 	if jsonOut {

@@ -12,14 +12,16 @@ import (
 	"copack/internal/gen"
 )
 
-// shrinkBench makes runBench finish in test time: one worker count and a
-// short pricing loop. The code path is identical to the real bench.
+// shrinkBench makes runBench finish in test time: one worker count, a
+// short pricing loop and a small portfolio budget. The code path is
+// identical to the real bench.
 func shrinkBench(t *testing.T) {
 	t.Helper()
-	oldW, oldM := benchWorkerCounts, benchPricingMoves
+	oldW, oldM, oldP := benchWorkerCounts, benchPricingMoves, benchPortfolioBudget
 	benchWorkerCounts = []int{1, 2}
 	benchPricingMoves = 20_000
-	t.Cleanup(func() { benchWorkerCounts, benchPricingMoves = oldW, oldM })
+	benchPortfolioBudget = 5
+	t.Cleanup(func() { benchWorkerCounts, benchPricingMoves, benchPortfolioBudget = oldW, oldM, oldP })
 }
 
 func TestBenchJSONSchemaRoundTrip(t *testing.T) {
@@ -49,9 +51,9 @@ func TestBenchJSONSchemaRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("BENCH json does not round-trip into benchReport: %v", err)
 	}
-	// 5 surfaces x len(workerCounts) + move-pricing + the two to-target
-	// entries.
-	wantEntries := 5*len(benchWorkerCounts) + 1 + 2
+	// 6 surfaces x len(workerCounts) + move-pricing + the two to-target
+	// entries + the fixed/adaptive portfolio pair.
+	wantEntries := 6*len(benchWorkerCounts) + 1 + 2 + 2
 	if len(rep.Entries) != wantEntries {
 		t.Errorf("%d entries, want %d", len(rep.Entries), wantEntries)
 	}
@@ -84,6 +86,42 @@ func TestBenchJSONSchemaRoundTrip(t *testing.T) {
 		if e.TargetCost == 0 {
 			t.Errorf("to-target/%s: target_cost is unset", name)
 		}
+	}
+	port := map[string]*benchEntry{}
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
+		if strings.HasPrefix(e.Name, "anneal/portfolio/") {
+			port[strings.TrimPrefix(e.Name, "anneal/portfolio/")] = e
+		}
+	}
+	for _, name := range []string{"fixed", "adaptive"} {
+		e := port[name]
+		if e == nil {
+			t.Errorf("missing anneal/portfolio/%s entry", name)
+			continue
+		}
+		if e.Moves <= 0 {
+			t.Errorf("portfolio/%s: moves = %v, want > 0", name, e.Moves)
+		}
+		if e.TargetCost == 0 {
+			t.Errorf("portfolio/%s: target_cost is unset", name)
+		}
+	}
+	if f, a := port["fixed"], port["adaptive"]; f != nil && a != nil {
+		// The acceptance gate, re-checked from the persisted file: the
+		// portfolio's Eq 3 cost never exceeds the fixed baseline's, and the
+		// baseline was granted at least the portfolio's move budget.
+		if a.TargetCost > f.TargetCost {
+			t.Errorf("portfolio adaptive cost %v > fixed cost %v", a.TargetCost, f.TargetCost)
+		}
+		if f.Moves < a.Moves {
+			t.Errorf("fixed baseline ran %v moves, below the adaptive %v", f.Moves, a.Moves)
+		}
+	}
+	if snap := rep.SolverInternals["anneal/portfolio"]; snap == nil {
+		t.Error("solver_internals missing anneal/portfolio")
+	} else if snap.Counters["portfolio/trace_hash"] == 0 {
+		t.Error("portfolio internals missing the trace_hash counter")
 	}
 	// The alloc columns are part of the schema proper, not an omitempty
 	// extra: every entry carries them even when zero.
@@ -186,9 +224,9 @@ func TestBenchLargeTierSmoke(t *testing.T) {
 	if rep.Size != "large" {
 		t.Errorf("report size %q, want large", rep.Size)
 	}
-	// 5 default + 4 large surfaces per worker count, plus move-pricing and
-	// the two to-target entries.
-	wantEntries := 9*len(benchWorkerCounts) + 1 + 2
+	// 6 default + 4 large surfaces per worker count, plus move-pricing, the
+	// two to-target entries and the fixed/adaptive portfolio pair.
+	wantEntries := 10*len(benchWorkerCounts) + 1 + 2 + 2
 	if len(rep.Entries) != wantEntries {
 		t.Errorf("%d entries, want %d", len(rep.Entries), wantEntries)
 	}

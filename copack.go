@@ -41,6 +41,7 @@ import (
 	"copack/internal/gen"
 	"copack/internal/netlist"
 	"copack/internal/obs"
+	"copack/internal/portfolio"
 	"copack/internal/power"
 	"copack/internal/route"
 	"copack/internal/stack"
@@ -108,6 +109,22 @@ type (
 	// MetricsSnapshot is a Collector's state: counters, gauges, timers
 	// and pipeline phase events, JSON-marshalable with stable key order.
 	MetricsSnapshot = obs.Snapshot
+	// PortfolioConfig declares an adaptive annealing portfolio: an arm
+	// set, a restart budget and the bandit's exploration coefficient (see
+	// Options.Portfolio and internal/portfolio).
+	PortfolioConfig = portfolio.Config
+	// PortfolioArm is one portfolio member: a schedule variant, a
+	// move-range knob and a warm-start engine.
+	PortfolioArm = portfolio.Arm
+	// PortfolioEngine names an arm's warm-start engine ("", "ifa", "dfa",
+	// "mcmf" or "auto").
+	PortfolioEngine = portfolio.Engine
+	// PortfolioOutcome is the bandit's replay log: the full arm-allocation
+	// trace plus per-arm summaries (ExchangeResult.Portfolio).
+	PortfolioOutcome = portfolio.Outcome
+	// PortfolioFeatures are the cheap deterministic circuit features the
+	// bandit's auto engine selection reads.
+	PortfolioFeatures = portfolio.Features
 )
 
 // Net classes.
@@ -213,6 +230,13 @@ type Options struct {
 	// with a caller deadline on PlanContext's ctx — whichever is sooner
 	// wins.
 	Budget time.Duration
+	// Portfolio, when non-nil, replaces the exchange step's fixed-budget
+	// restart loop with the adaptive annealing portfolio: Portfolio.Budget
+	// restarts are allocated across the declared arms by a deterministic
+	// successive-halving bandit (see DefaultPortfolio for the standard arm
+	// set). Nil keeps the legacy path bit-identical. An explicit
+	// Exchange.Portfolio value takes precedence.
+	Portfolio *PortfolioConfig
 	// Workers bounds the concurrency of every parallel path in the plan:
 	// multi-start annealing (Exchange.Restarts) and large-grid IR solves.
 	// 0 means one worker per CPU, 1 forces sequential execution. Workers
@@ -234,6 +258,23 @@ type Options struct {
 // NewMetricsCollector returns an empty MetricsCollector ready to be set as
 // Options.Recorder.
 func NewMetricsCollector() *MetricsCollector { return obs.NewCollector() }
+
+// DefaultPortfolio returns the standard adaptive-portfolio arm set for a
+// restart budget: the legacy schedule as control, faster/slower cooling
+// variants, a half-plateau move-range arm and a feature-selected warm-start
+// arm (see internal/portfolio).
+func DefaultPortfolio(budget int) *PortfolioConfig { return portfolio.Default(budget) }
+
+// ParsePortfolioConfig decodes and validates a JSON portfolio declaration
+// (the format fpassign's -portfolio-config flag reads). Unknown fields,
+// trailing data, duplicate arm names and non-positive budgets are rejected.
+func ParsePortfolioConfig(data []byte) (*PortfolioConfig, error) {
+	return portfolio.ParseConfig(data)
+}
+
+// ComputeFeatures extracts the cheap deterministic circuit features the
+// portfolio's auto engine selection reads.
+func ComputeFeatures(p *Problem) PortfolioFeatures { return portfolio.Compute(p) }
 
 // SolveOptions re-exports the IR-drop solver's tuning knobs.
 type SolveOptions = power.SolveOptions
@@ -443,6 +484,9 @@ func PlanContext(ctx context.Context, p *Problem, opt Options) (res *Result, err
 	if exOpt.Recorder == nil {
 		// exchange self-namespaces under exchange/ and anneal/.
 		exOpt.Recorder = opt.Recorder
+	}
+	if exOpt.Portfolio == nil {
+		exOpt.Portfolio = opt.Portfolio
 	}
 	endExchange := obs.StartPhase(rec, "exchange")
 	ex, err := exchange.RunContext(ctx, p, initial, exOpt)

@@ -30,6 +30,7 @@ import (
 	"copack/internal/core"
 	"copack/internal/netlist"
 	"copack/internal/obs"
+	"copack/internal/portfolio"
 	"copack/internal/power"
 	"copack/internal/route"
 	"copack/internal/stack"
@@ -92,6 +93,18 @@ type Options struct {
 	// recorded run is bit-identical to an unrecorded one (enforced by the
 	// golden tests).
 	Recorder obs.Recorder
+	// Portfolio, when non-nil, replaces the fixed-budget restart loop
+	// with the adaptive annealing portfolio (see internal/portfolio and
+	// portfolio.go in this package): Portfolio.Budget restarts are
+	// allocated across the declared arms by a deterministic
+	// successive-halving bandit, Restarts is ignored, and Initial must be
+	// nil (arms own their warm starts). A nil Portfolio is the legacy
+	// path, bit-identical to the behavior before the field existed; a
+	// single-arm portfolio with no overrides is bit-identical to
+	// Restarts=Budget (both enforced by the golden matrix and the
+	// equivalence tests). Portfolio.Seed is overwritten with Options.Seed
+	// so one seed drives the whole run.
+	Portfolio *portfolio.Config
 }
 
 // Metrics captures the quality of an assignment before/after exchanging.
@@ -134,8 +147,13 @@ type Result struct {
 	Restart int
 	// RestartCosts lists every restart's final Eq 3 cost (recomputed
 	// from scratch, so incremental-cache drift cannot skew the
-	// selection), indexed by restart. Length Options.Restarts (min 1).
+	// selection), indexed by restart. Length Options.Restarts (min 1),
+	// or Portfolio.Budget for portfolio runs.
 	RestartCosts []float64
+	// Portfolio is the bandit's outcome — the full arm-allocation trace
+	// and per-arm summaries — for runs with Options.Portfolio set; nil
+	// otherwise.
+	Portfolio *portfolio.Outcome
 }
 
 // state is the annealing target.
@@ -298,6 +316,9 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 		return nil, fmt.Errorf("exchange: initial assignment: %v", err)
 	}
 	opt = opt.withDefaults(p)
+	if opt.Portfolio != nil {
+		return runPortfolio(ctx, p, initial, opt)
+	}
 	sched := opt.Schedule
 
 	restarts := opt.Restarts
@@ -362,7 +383,18 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 			win = k
 		}
 	}
-	st := states[win]
+	res, err := finishResult(p, opt, states[win], before, stats[win], win, costs)
+	if err != nil {
+		return nil, err
+	}
+	recordRun(opt, sched, states, stats, terms, res)
+	return res, nil
+}
+
+// finishResult evaluates the winning restart's final order and assembles the
+// Result — the tail shared by the fixed-budget path and the portfolio path
+// (portfolio.go), kept common so both report identically-derived metrics.
+func finishResult(p *core.Problem, opt Options, st *state, before Metrics, winStats anneal.Stats, win int, costs []float64) (*Result, error) {
 	legal := core.CheckMonotonic(p, st.a) == nil
 	after := Metrics{
 		Proxy:      power.ProxyForAssignment(p, st.a, opt.Classes...),
@@ -382,18 +414,16 @@ func RunContext(ctx context.Context, p *core.Problem, initial *core.Assignment, 
 		after.MaxDensity = rs.MaxDensity
 		after.Wirelength = rs.Wirelength
 	}
-	res := &Result{
+	return &Result{
 		Assignment:   st.a,
 		Before:       before,
 		After:        after,
-		Stats:        stats[win],
+		Stats:        winStats,
 		Legal:        legal,
-		Interrupted:  stats[win].Interrupted,
+		Interrupted:  winStats.Interrupted,
 		Restart:      win,
 		RestartCosts: costs,
-	}
-	recordRun(opt, sched, states, stats, terms, res)
-	return res, nil
+	}, nil
 }
 
 // newState builds one annealing state over a private clone of its start

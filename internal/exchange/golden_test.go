@@ -11,6 +11,7 @@ import (
 	"copack/internal/bga"
 	"copack/internal/gen"
 	"copack/internal/obs"
+	"copack/internal/portfolio"
 )
 
 // TestGoldenResults pins the exchange output bit for bit. The expected
@@ -152,6 +153,121 @@ func TestGoldenResults(t *testing.T) {
 						}
 						if got := snap.Gauges["exchange/winner_restart"]; got != float64(res.Restart) {
 							t.Errorf("%s: snapshot winner_restart = %v, want %d", cell, got, res.Restart)
+						}
+						js, err := snap.MarshalIndent()
+						if err != nil {
+							t.Fatalf("%s: marshal snapshot: %v", cell, err)
+						}
+						snapshots = append(snapshots, js)
+					}
+				}
+			}
+			for i := 1; i < len(snapshots); i++ {
+				if string(snapshots[i]) != string(snapshots[0]) {
+					t.Errorf("instrumented snapshot %d differs from snapshot 0:\n%s\nvs\n%s",
+						i, snapshots[i], snapshots[0])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenPortfolioResults extends the golden matrix with portfolio-on
+// cells: two pinned configs, each run at workers 1 and 4 with and without a
+// Recorder. The legacy cells above stay untouched — the nil-Portfolio path
+// never enters the bandit — so together the two tests prove the dispatch is
+// exactly "nil ⇒ legacy, non-nil ⇒ bandit" with both sides bit-stable.
+func TestGoldenPortfolioResults(t *testing.T) {
+	quick := anneal.Schedule{InitialTemp: 0.5, FinalTemp: 1e-3, Cooling: 0.85, MovesPerTemp: 200}
+	cases := []struct {
+		name      string
+		circuit   int
+		genSeed   int64
+		tiers     int
+		opt       Options
+		cfg       portfolio.Config
+		wantHash  uint64
+		wantTrace uint64
+		restart   int
+		costs     []uint64 // math.Float64bits of RestartCosts
+	}{
+		{"c0_t1_two_arm", 0, 4, 1, Options{Seed: 9, Schedule: quick},
+			portfolio.Config{Budget: 5, Arms: []portfolio.Arm{
+				{Name: "legacy"},
+				{Name: "fast", Schedule: anneal.Schedule{Cooling: 0.7}},
+			}},
+			0x84b7751fb2aa9add, 0xe0fc80b4832db1e5,
+			2, []uint64{0x3ffc9b81d574a160, 0x4005e9fe886f7ee6, 0x3ffc8fc5516bd3fd, 0x3ffc8fc5516bd3fd, 0x4005e9fe886f7ee6}},
+		{"c1_t4_warm_mix", 1, 3, 4, Options{Seed: 2, Schedule: quick},
+			portfolio.Config{Budget: 6, Arms: []portfolio.Arm{
+				{Name: "cold"},
+				{Name: "half", MoveScale: 0.5},
+				{Name: "warm-mcmf", Engine: portfolio.EngineMCMF, MoveScale: 0.5,
+					Schedule: anneal.Schedule{InitialTemp: 0.05}},
+			}},
+			0x8fe985adcc3dc10d, 0x9a1b2e9e978426b1,
+			4, []uint64{0x400be848acf524b3, 0x400cb33d57ed44ea, 0x4017d5b27801c962, 0x40210a885134919c, 0x3ff6666666666666, 0x4017e8f609613c11}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := gen.MustBuild(gen.Table1()[tc.circuit], gen.Options{Seed: tc.genSeed, Tiers: tc.tiers})
+			a, err := assign.DFA(p, assign.DFAOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var snapshots [][]byte
+			for _, workers := range []int{1, 4} {
+				for _, instrumented := range []bool{false, true} {
+					cell := fmt.Sprintf("workers=%d recorder=%v", workers, instrumented)
+					opt := tc.opt
+					opt.Workers = workers
+					cfg := tc.cfg
+					opt.Portfolio = &cfg
+					var col *obs.Collector
+					if instrumented {
+						col = obs.NewCollector()
+						opt.Recorder = col
+					}
+					res, err := Run(p, a, opt)
+					if err != nil {
+						t.Fatalf("%s: %v", cell, err)
+					}
+					h := fnv.New64a()
+					for _, side := range bga.Sides() {
+						for _, id := range res.Assignment.Slots[side] {
+							fmt.Fprintf(h, "%d,", id)
+						}
+						fmt.Fprint(h, ";")
+					}
+					if got := h.Sum64(); got != tc.wantHash {
+						t.Errorf("%s: assignment hash = %#016x, want %#016x", cell, got, tc.wantHash)
+					}
+					if got := res.Portfolio.TraceHash(); got != tc.wantTrace {
+						t.Errorf("%s: trace hash = %#016x, want %#016x", cell, got, tc.wantTrace)
+					}
+					if res.Restart != tc.restart {
+						t.Errorf("%s: Restart = %d, want %d", cell, res.Restart, tc.restart)
+					}
+					if len(res.RestartCosts) != len(tc.costs) {
+						t.Fatalf("%s: %d restart costs, want %d", cell, len(res.RestartCosts), len(tc.costs))
+					}
+					for k, rc := range res.RestartCosts {
+						if math.Float64bits(rc) != tc.costs[k] {
+							t.Errorf("%s: RestartCosts[%d] = %#016x, want %#016x",
+								cell, k, math.Float64bits(rc), tc.costs[k])
+						}
+					}
+					if col != nil {
+						snap := col.Snapshot()
+						if got := snap.Gauges["portfolio/winner_restart"]; got != float64(res.Restart) {
+							t.Errorf("%s: snapshot winner_restart = %v, want %d", cell, got, res.Restart)
+						}
+						if got := snap.Gauges["portfolio/budget"]; got != float64(tc.cfg.Budget) {
+							t.Errorf("%s: snapshot budget = %v, want %d", cell, got, tc.cfg.Budget)
+						}
+						if got := snap.Counters["portfolio/trace_hash"]; got != int64(tc.wantTrace) {
+							t.Errorf("%s: snapshot trace_hash = %#016x, want %#016x", cell, uint64(got), tc.wantTrace)
 						}
 						js, err := snap.MarshalIndent()
 						if err != nil {

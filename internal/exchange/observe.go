@@ -26,6 +26,14 @@ import (
 // recordRun emits the whole run's telemetry to opt.Recorder (no-op when
 // nil).
 func recordRun(opt Options, sched anneal.Schedule, states []*state, stats []anneal.Stats, terms []eq3Breakdown, res *Result) {
+	recordRunWith(opt, func(int) anneal.Schedule { return sched }, states, stats, terms, res)
+}
+
+// recordRunWith is recordRun with a per-restart schedule lookup — the
+// portfolio path runs different restarts under different arm schedules, and
+// each anneal's stats must be recorded against the schedule that produced
+// them.
+func recordRunWith(opt Options, schedOf func(k int) anneal.Schedule, states []*state, stats []anneal.Stats, terms []eq3Breakdown, res *Result) {
 	rec := obs.OrNop(opt.Recorder)
 	if _, nop := rec.(obs.NopRecorder); nop {
 		return
@@ -51,7 +59,7 @@ func recordRun(opt Options, sched anneal.Schedule, states []*state, stats []anne
 		kr.Set("cost_id", terms[k].ID)
 		kr.Set("cost_omega", terms[k].Omega)
 		kr.Set("cost_total", terms[k].Total)
-		s.Record(obs.WithPrefix(rec, fmt.Sprintf("anneal/restart%d/", k)), sched)
+		s.Record(obs.WithPrefix(rec, fmt.Sprintf("anneal/restart%d/", k)), schedOf(k))
 	}
 }
 

@@ -262,13 +262,25 @@ func Table3With(seed int64, h Harness) (*Table3Result, error) {
 // (nested pools would oversubscribe), and the aggregation walks the results
 // in seed order, so the summary equals the sequential sweep exactly.
 func SweepTable2With(seeds []int64, randomTries int, h Harness) (*SweepResult, error) {
+	return SweepTable2Context(context.Background(), seeds, randomTries, h)
+}
+
+// SweepTable2Context is SweepTable2With with cancellation: a cancelled ctx
+// stops scheduling new seeds and the call returns the context error. The
+// progress stream is flushed on that path — a final tick reports how many
+// seeds completed before the stop, so a consumer tailing the stream never
+// sees it end silently mid-sweep.
+func SweepTable2Context(ctx context.Context, seeds []int64, randomTries int, h Harness) (*SweepResult, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("exp: sweep needs at least one seed")
 	}
 	results := make([]*Table2Result, len(seeds))
 	var mu sync.Mutex
 	var done atomic.Int64
-	err := parallel.ForEachErr(context.Background(), len(seeds), h.Workers, func(_ context.Context, i int) error {
+	err := parallel.ForEachErr(ctx, len(seeds), h.Workers, func(ctx context.Context, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res, err := Table2With(seeds[i], randomTries, Harness{Workers: 1})
 		if err != nil {
 			return err
@@ -278,6 +290,7 @@ func SweepTable2With(seeds []int64, randomTries int, h Harness) (*SweepResult, e
 		return nil
 	})
 	if err != nil {
+		h.progressf(&mu, "sweep stopped: %v (%d/%d seeds done)", err, done.Load(), len(seeds))
 		return nil, err
 	}
 	var dIFA, dDFA, wIFA, wDFA []float64
@@ -309,13 +322,22 @@ func SweepTable2With(seeds []int64, randomTries int, h Harness) (*SweepResult, e
 // SweepTable3With runs SweepTable3 with the seeds fanned out over the
 // harness pool; see SweepTable2With for the determinism argument.
 func SweepTable3With(seeds []int64, h Harness) (*Sweep3Result, error) {
+	return SweepTable3Context(context.Background(), seeds, h)
+}
+
+// SweepTable3Context is SweepTable3With with cancellation; the progress
+// stream gets the same final flush SweepTable2Context documents.
+func SweepTable3Context(ctx context.Context, seeds []int64, h Harness) (*Sweep3Result, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("exp: sweep needs at least one seed")
 	}
 	results := make([]*Table3Result, len(seeds))
 	var mu sync.Mutex
 	var done atomic.Int64
-	err := parallel.ForEachErr(context.Background(), len(seeds), h.Workers, func(_ context.Context, i int) error {
+	err := parallel.ForEachErr(ctx, len(seeds), h.Workers, func(ctx context.Context, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res, err := Table3With(seeds[i], Harness{Workers: 1})
 		if err != nil {
 			return err
@@ -325,6 +347,7 @@ func SweepTable3With(seeds []int64, h Harness) (*Sweep3Result, error) {
 		return nil
 	})
 	if err != nil {
+		h.progressf(&mu, "sweep3 stopped: %v (%d/%d seeds done)", err, done.Load(), len(seeds))
 		return nil, err
 	}
 	ir := map[int][]float64{}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -91,5 +92,53 @@ func TestSweepTable2WithProgressAndDeterminism(t *testing.T) {
 		if !strings.Contains(line, "sweep seed") {
 			t.Errorf("unexpected progress line %q", line)
 		}
+	}
+}
+
+// Regression: a cancelled sweep must still flush the progress stream — the
+// last line reports how many seeds completed before the stop, so consumers
+// tailing the stream never see it end silently mid-sweep.
+func TestSweepContextCancelledFlushesProgress(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var lines []string
+	h := Harness{Workers: 2, Progress: func(line string) { lines = append(lines, line) }}
+	if _, err := SweepTable2Context(ctx, Seeds(3), 2, h); err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if len(lines) == 0 {
+		t.Fatal("cancelled sweep emitted no progress at all")
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "sweep stopped") || !strings.Contains(last, "/3 seeds done") {
+		t.Errorf("final progress tick %q does not report the stop with the completed count", last)
+	}
+
+	lines = nil
+	if _, err := SweepTable3Context(ctx, Seeds(2), h); err == nil {
+		t.Fatal("cancelled sweep3 returned nil error")
+	}
+	if len(lines) == 0 {
+		t.Fatal("cancelled sweep3 emitted no progress at all")
+	}
+	last = lines[len(lines)-1]
+	if !strings.Contains(last, "sweep3 stopped") || !strings.Contains(last, "/2 seeds done") {
+		t.Errorf("final progress tick %q does not report the stop with the completed count", last)
+	}
+}
+
+// An uncancelled Context sweep equals the classic sweep bit for bit.
+func TestSweepTable3ContextMatchesWith(t *testing.T) {
+	seeds := Seeds(2)
+	ref, err := SweepTable3With(seeds, Harness{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SweepTable3Context(context.Background(), seeds, Harness{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Error("SweepTable3Context differs from SweepTable3With")
 	}
 }

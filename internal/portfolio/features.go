@@ -1,0 +1,82 @@
+package portfolio
+
+import (
+	"copack/internal/bga"
+	"copack/internal/core"
+	"copack/internal/netlist"
+)
+
+// Features are the cheap, deterministic circuit features the portfolio
+// reads: everything is a pure O(nets) function of the problem, so
+// feature-driven decisions (EngineAuto resolution) replay exactly. The
+// differential test checks Compute against a naive from-scratch extractor.
+type Features struct {
+	// Nets is the circuit's net count.
+	Nets int `json:"nets"`
+	// Tiers is the stacking tier count ψ.
+	Tiers int `json:"tiers"`
+	// QuadrantSkew is the largest quadrant's net count over the mean
+	// quadrant net count (1.0 = perfectly balanced; 0 for an empty
+	// package). A skewed package concentrates congestion in one quadrant.
+	QuadrantSkew float64 `json:"quadrant_skew"`
+	// PowerFrac is the fraction of nets in the Power class — the nets the
+	// 2-D exchange moves and the IR term watches.
+	PowerFrac float64 `json:"power_frac"`
+	// SupplyFrac is the fraction of supply (power + ground) nets.
+	SupplyFrac float64 `json:"supply_frac"`
+}
+
+// Compute extracts the features of a problem. One pass over the nets plus
+// one over the quadrants; no allocation beyond the return value.
+func Compute(p *core.Problem) Features {
+	f := Features{Nets: p.Circuit.NumNets(), Tiers: p.Tiers}
+	maxQ, sumQ := 0, 0
+	for _, side := range bga.Sides() {
+		n := p.Pkg.Quadrant(side).NumNets()
+		sumQ += n
+		if n > maxQ {
+			maxQ = n
+		}
+	}
+	if sumQ > 0 {
+		f.QuadrantSkew = float64(maxQ) * float64(bga.NumSides) / float64(sumQ)
+	}
+	if f.Nets > 0 {
+		power, supply := 0, 0
+		for id := netlist.ID(0); int(id) < f.Nets; id++ {
+			switch p.Circuit.Net(id).Class {
+			case netlist.Power:
+				power++
+				supply++
+			case netlist.Ground:
+				supply++
+			}
+		}
+		f.PowerFrac = float64(power) / float64(f.Nets)
+		f.SupplyFrac = float64(supply) / float64(f.Nets)
+	}
+	return f
+}
+
+// SelectEngine resolves EngineAuto: pick the warm-start engine the
+// instance's features favor. The rules are deliberately simple threshold
+// tests — deterministic, explainable, and cheap enough to run per plan:
+//
+//   - Tiny rings (< 8 nets) go to IFA: at that size the insertion
+//     heuristic is near-optimal and the flow machinery buys nothing.
+//   - Instances the dense flow can afford (≤ 512 nets) with any supply
+//     nets to ladder go to MCMF: its congestion-exact matching plus the
+//     Eq 3 IR ladder give the anneal the best-known starting basin.
+//   - Everything else goes to DFA, the paper's best scalable engine —
+//     including heavily skewed packages, where DFA's per-quadrant density
+//     intervals handle the concentrated congestion.
+func (f Features) SelectEngine() Engine {
+	switch {
+	case f.Nets < 8:
+		return EngineIFA
+	case f.Nets <= 512 && f.SupplyFrac > 0:
+		return EngineMCMF
+	default:
+		return EngineDFA
+	}
+}

@@ -1,0 +1,106 @@
+package portfolio
+
+import (
+	"testing"
+
+	"copack/internal/bga"
+	"copack/internal/core"
+	"copack/internal/gen"
+	"copack/internal/netlist"
+)
+
+// naiveFeatures is the from-scratch reference extractor for the
+// differential test: it derives every feature from the raw net and quadrant
+// listings (Circuit.Nets, Quadrant.Nets) instead of the counting accessors
+// Compute uses, so an indexing or accounting bug in either path shows up as
+// a mismatch.
+func naiveFeatures(p *core.Problem) Features {
+	f := Features{Tiers: p.Tiers}
+	nets := p.Circuit.Nets()
+	f.Nets = len(nets)
+	var quad [bga.NumSides]int
+	for _, side := range bga.Sides() {
+		quad[side] = len(p.Pkg.Quadrant(side).Nets())
+	}
+	maxQ, sumQ := 0, 0
+	for _, n := range quad {
+		sumQ += n
+		if n > maxQ {
+			maxQ = n
+		}
+	}
+	if sumQ > 0 {
+		f.QuadrantSkew = float64(maxQ*int(bga.NumSides)) / float64(sumQ)
+	}
+	power, supply := 0, 0
+	for _, n := range nets {
+		if n.Class == netlist.Power {
+			power++
+		}
+		if n.Class == netlist.Power || n.Class == netlist.Ground {
+			supply++
+		}
+	}
+	if f.Nets > 0 {
+		f.PowerFrac = float64(power) / float64(f.Nets)
+		f.SupplyFrac = float64(supply) / float64(f.Nets)
+	}
+	return f
+}
+
+// TestComputeDifferential checks Compute against the naive extractor over
+// every Table 1 circuit, 2-D and stacked, plus the hand-built figures.
+func TestComputeDifferential(t *testing.T) {
+	problems := map[string]*core.Problem{
+		"fig5":  gen.Fig5(),
+		"fig13": gen.Fig13(),
+	}
+	for _, tc := range gen.Table1() {
+		problems[tc.Name] = gen.MustBuild(tc, gen.Options{Seed: 3})
+		problems[tc.Name+"-stacked"] = gen.MustBuild(tc, gen.Options{Seed: 3, Tiers: 2})
+	}
+	problems["no-supply"] = gen.MustBuild(gen.Table1()[0], gen.Options{Seed: 1, PowerEvery: -1, GroundEvery: -1})
+	for name, p := range problems {
+		got, want := Compute(p), naiveFeatures(p)
+		if got != want {
+			t.Errorf("%s: Compute %+v, naive %+v", name, got, want)
+		}
+	}
+}
+
+// TestComputeValues sanity-checks the features on a known instance: Table 1
+// circuit1 has 96 fingers over 4 equal quadrants with every 5th net Power
+// and every 7th remaining net Ground.
+func TestComputeValues(t *testing.T) {
+	p := gen.MustBuild(gen.Table1()[0], gen.Options{Seed: 1})
+	f := Compute(p)
+	if f.Nets != 96 || f.Tiers != 1 {
+		t.Errorf("Nets=%d Tiers=%d, want 96/1", f.Nets, f.Tiers)
+	}
+	if f.QuadrantSkew != 1 {
+		t.Errorf("equal quadrants skew %v, want 1", f.QuadrantSkew)
+	}
+	if f.PowerFrac <= 0 || f.PowerFrac >= 1 || f.SupplyFrac < f.PowerFrac {
+		t.Errorf("PowerFrac=%v SupplyFrac=%v", f.PowerFrac, f.SupplyFrac)
+	}
+}
+
+func TestSelectEngine(t *testing.T) {
+	cases := []struct {
+		f    Features
+		want Engine
+	}{
+		{Features{Nets: 4}, EngineIFA},
+		{Features{Nets: 7, SupplyFrac: 0.5}, EngineIFA},
+		{Features{Nets: 96, SupplyFrac: 0.3}, EngineMCMF},
+		{Features{Nets: 512, SupplyFrac: 0.01}, EngineMCMF},
+		{Features{Nets: 513, SupplyFrac: 0.3}, EngineDFA},
+		{Features{Nets: 96, SupplyFrac: 0}, EngineDFA},
+		{Features{Nets: 100000}, EngineDFA},
+	}
+	for _, tc := range cases {
+		if got := tc.f.SelectEngine(); got != tc.want {
+			t.Errorf("SelectEngine(%+v) = %q, want %q", tc.f, got, tc.want)
+		}
+	}
+}

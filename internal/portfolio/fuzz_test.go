@@ -1,0 +1,90 @@
+package portfolio
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+)
+
+// FuzzPortfolioConfig fuzzes the config decode/validate surface. Invariants:
+//
+//   - ParseConfig never panics and never returns (nil, nil).
+//   - Typed rejections are observable: a config that parses as JSON but
+//     declares a duplicate arm name reports ErrDuplicateArm, a non-positive
+//     budget reports ErrZeroBudget (both via errors.Is).
+//   - An accepted config re-validates, stays inside the declared caps, and
+//     survives a marshal/re-parse round trip.
+func FuzzPortfolioConfig(f *testing.F) {
+	f.Add([]byte(`{"arms":[{"name":"legacy"}],"budget":8}`))
+	f.Add([]byte(`{"arms":[{"name":"a"},{"name":"b","engine":"mcmf","move_scale":0.5}],"budget":16,"explore":0.3,"seed":7}`))
+	f.Add([]byte(`{"arms":[{"name":"warm","engine":"auto","schedule":{"InitialTemp":0.05,"Cooling":0.9}}],"budget":4}`))
+	f.Add([]byte(`{"arms":[{"name":"a"},{"name":"a"}],"budget":1}`))
+	f.Add([]byte(`{"arms":[{"name":"a"}],"budget":0}`))
+	f.Add([]byte(`{"arms":[],"budget":3}`))
+	f.Add([]byte(`{"arms":[{"name":"x","engine":"bogus"}],"budget":2}`))
+	f.Add([]byte(`{"arms":[{"name":"x","move_scale":-2}],"budget":2}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			if cfg != nil {
+				t.Fatal("non-nil config alongside an error")
+			}
+			return
+		}
+		if cfg == nil {
+			t.Fatal("nil config with nil error")
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted config fails re-validation: %v", err)
+		}
+		if cfg.Budget <= 0 || cfg.Budget > maxBudget {
+			t.Fatalf("accepted budget %d outside (0,%d]", cfg.Budget, maxBudget)
+		}
+		// Round trip: the accepted config re-encodes to a config ParseConfig
+		// accepts again, field-for-field equal.
+		enc, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseConfig(enc)
+		if err != nil {
+			t.Fatalf("re-parse of %s: %v", enc, err)
+		}
+		if len(again.Arms) != len(cfg.Arms) || again.Budget != cfg.Budget {
+			t.Fatalf("round trip changed the config: %+v vs %+v", again, cfg)
+		}
+		for i := range cfg.Arms {
+			if again.Arms[i] != cfg.Arms[i] {
+				t.Fatalf("round trip changed arm %d: %+v vs %+v", i, again.Arms[i], cfg.Arms[i])
+			}
+		}
+		// The typed-error contract, probed from the accepted side: injecting
+		// a duplicate name or zeroing the budget must produce the sentinels.
+		dup := *cfg
+		dup.Arms = append(append([]Arm(nil), cfg.Arms...), cfg.Arms[0])
+		if err := dup.Validate(); !errors.Is(err, ErrDuplicateArm) {
+			t.Fatalf("duplicated arm %q: err %v, want ErrDuplicateArm", cfg.Arms[0].Name, err)
+		}
+		zero := *cfg
+		zero.Budget = 0
+		if err := zero.Validate(); !errors.Is(err, ErrZeroBudget) {
+			t.Fatalf("zeroed budget: err %v, want ErrZeroBudget", err)
+		}
+	})
+}
+
+// TestFuzzCorpusCommitted ensures the committed seed corpus stays in place —
+// the CI fuzz-smoke step starts from it, and `go test` (without -fuzz)
+// replays every committed entry through the fuzz function.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	entries, err := os.ReadDir("testdata/fuzz/FuzzPortfolioConfig")
+	if err != nil {
+		t.Fatalf("committed corpus missing: %v", err)
+	}
+	if len(entries) < 4 {
+		t.Fatalf("corpus holds %d entries, want at least 4", len(entries))
+	}
+}
