@@ -17,15 +17,25 @@
 //
 //	GET    /healthz           liveness
 //	GET    /metrics           service metrics (deterministic JSON)
+//	GET    /queuez            queue depth/capacity (fleet admission)
 //	POST   /plan              synchronous plan
 //	POST   /jobs              async submit (429 + Retry-After when full)
 //	GET    /jobs/{id}         poll status
 //	GET    /jobs/{id}/result  fetch the plan
 //	DELETE /jobs/{id}         cancel
+//	POST   /sweeps            distributed parameter sweep (Table 2/3)
+//	GET    /sweeps/{id}/events  SSE progress stream
+//	GET    /sweeps/{id}/result  deterministic reduced sweep body
+//	DELETE /sweeps/{id}         cancel the sweep
+//
+// In fleet mode a sweep's units are sharded across the peers by
+// consistent-hash placement and the final body is byte-identical to a
+// single-node run (see README "Distributed sweeps").
 //
 // SIGINT/SIGTERM trigger a graceful drain: new work is rejected, running
 // plans stop at their next checkpoint and report best-so-far partial
-// results, then the process exits 0.
+// results, streaming sweeps emit a terminal canceled event, then the
+// process exits 0.
 package main
 
 import (
@@ -108,7 +118,10 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		readTimeout = fs.Duration("read-timeout", time.Minute,
 			"http.Server ReadTimeout: full request read deadline")
 		writeTimeout = fs.Duration("write-timeout", 0,
-			"http.Server WriteTimeout (0 = max-budget plus a minute)")
+			"http.Server WriteTimeout (0 = max-budget plus a minute; also bounds sweep event streams)")
+		sweepSeeds     = fs.Int("sweep-seeds", 64, "max units (seeds) per sweep")
+		sweepHeartbeat = fs.Duration("sweep-heartbeat", 15*time.Second,
+			"keep-alive interval on idle sweep event streams")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -132,6 +145,8 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		MaxBodyBytes:    *maxBody,
 		MaxBudget:       *maxBudget,
 		NodeID:          *nodeID,
+		SweepMaxSeeds:   *sweepSeeds,
+		SweepHeartbeat:  *sweepHeartbeat,
 	})
 	drain := func() {
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)

@@ -293,6 +293,17 @@ func SweepTable2Context(ctx context.Context, seeds []int64, randomTries int, h H
 		h.progressf(&mu, "sweep stopped: %v (%d/%d seeds done)", err, done.Load(), len(seeds))
 		return nil, err
 	}
+	return ReduceSweep2(seeds, results), nil
+}
+
+// ReduceSweep2 aggregates per-seed Table 2 results (results[i] belongs to
+// seeds[i]) into the sweep summary. The walk is strictly index-ordered —
+// seed-major, then row order within each seed — so the summary is a pure
+// function of the ordered result slice: it does not matter whether the
+// per-seed results were computed sequentially, by a local worker pool, or
+// by different nodes of a fleet (internal/sweep reduces shard results
+// through this exact function to make fleet size invisible in the body).
+func ReduceSweep2(seeds []int64, results []*Table2Result) *SweepResult {
 	var dIFA, dDFA, wIFA, wDFA []float64
 	perCircuit := make(map[string][]float64)
 	for _, res := range results {
@@ -316,7 +327,7 @@ func SweepTable2Context(ctx context.Context, seeds []int64, randomTries int, h H
 	for name, xs := range perCircuit {
 		out.PerCircuitDensityDFA[name] = NewDist(xs)
 	}
-	return out, nil
+	return out
 }
 
 // SweepTable3With runs SweepTable3 with the seeds fanned out over the
@@ -350,6 +361,13 @@ func SweepTable3Context(ctx context.Context, seeds []int64, h Harness) (*Sweep3R
 		h.progressf(&mu, "sweep3 stopped: %v (%d/%d seeds done)", err, done.Load(), len(seeds))
 		return nil, err
 	}
+	return ReduceSweep3(seeds, results), nil
+}
+
+// ReduceSweep3 aggregates per-seed Table 3 results in strict index order;
+// see ReduceSweep2 for why the ordering makes the reduction placement- and
+// schedule-independent.
+func ReduceSweep3(seeds []int64, results []*Table3Result) *Sweep3Result {
 	ir := map[int][]float64{}
 	var bond, growth []float64
 	for _, res := range results {
@@ -367,5 +385,5 @@ func SweepTable3Context(ctx context.Context, seeds []int64, h Harness) (*Sweep3R
 	}
 	out.BondPct = NewDist(bond)
 	out.DensityGrowth = NewDist(growth)
-	return out, nil
+	return out
 }

@@ -99,6 +99,13 @@ type Config struct {
 	// routing; larger bodies get 413. Default 1 MiB — keep it in sync
 	// with the service's own cap.
 	MaxBodyBytes int64
+	// AdmissionTTL is how long a peer's advertised queue depth stays
+	// fresh in the admission cache; within it a saturated peer is skipped
+	// before dialing. Default 1s.
+	AdmissionTTL time.Duration
+	// AdmissionTimeout bounds the GET /queuez probe sweep dispatch sends
+	// when the admission cache is stale. Default 2s.
+	AdmissionTimeout time.Duration
 	// Transport is the base RoundTripper for peer traffic (default
 	// http.DefaultTransport). The router wraps it with the faultinject
 	// network points.
@@ -137,6 +144,12 @@ func (c Config) withDefaults() Config {
 	if c.Transport == nil {
 		c.Transport = http.DefaultTransport
 	}
+	if c.AdmissionTTL <= 0 {
+		c.AdmissionTTL = time.Second
+	}
+	if c.AdmissionTimeout <= 0 {
+		c.AdmissionTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -158,13 +171,14 @@ func ValidNodeID(id string) error {
 // failover logic. Create one with New and mount Handler in place of the
 // service's own handler. All methods are safe for concurrent use.
 type Router struct {
-	cfg      Config
-	local    *service.Server
-	localH   http.Handler
-	ring     *ring
-	breakers map[string]*breaker
-	clients  map[string]*http.Client
-	rec      obs.Recorder
+	cfg       Config
+	local     *service.Server
+	localH    http.Handler
+	ring      *ring
+	breakers  map[string]*breaker
+	clients   map[string]*http.Client
+	rec       obs.Recorder
+	admission *admissionCache
 
 	mu  sync.Mutex // guards rng
 	rng *rand.Rand
@@ -185,14 +199,15 @@ func New(local *service.Server, cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("fleet: self %q is not in Nodes", cfg.Self)
 	}
 	rt := &Router{
-		cfg:      cfg,
-		local:    local,
-		localH:   local.Handler(),
-		breakers: make(map[string]*breaker, len(cfg.Nodes)),
-		clients:  make(map[string]*http.Client, len(cfg.Nodes)),
-		rec:      obs.WithPrefix(obs.OrNop(cfg.Recorder), "fleet/"),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		now:      time.Now,
+		cfg:       cfg,
+		local:     local,
+		localH:    local.Handler(),
+		breakers:  make(map[string]*breaker, len(cfg.Nodes)),
+		clients:   make(map[string]*http.Client, len(cfg.Nodes)),
+		rec:       obs.WithPrefix(obs.OrNop(cfg.Recorder), "fleet/"),
+		admission: newAdmissionCache(cfg.AdmissionTTL),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		now:       time.Now,
 	}
 	ids := make([]string, 0, len(cfg.Nodes))
 	for id, base := range cfg.Nodes {
@@ -214,12 +229,19 @@ func New(local *service.Server, cfg Config) (*Router, error) {
 	}
 	rt.ring = newRing(ids, cfg.Replicas)
 	rt.rec.Set("nodes", float64(len(ids)))
+	// The router is the local service's sweep dispatcher: sweep units
+	// place on the same ring as plan keys and forward through the same
+	// breakers.
+	local.Sweeps().SetDispatcher(rt)
 	return rt, nil
 }
 
 // Handler returns the node's fleet-aware HTTP surface. Plan submissions
-// are routed by content address; job polls are routed by the node prefix
-// in the job ID; everything else (healthz, metrics) is served locally.
+// are routed by content address; job and sweep polls are routed by the
+// node prefix in the ID; sweep event streams get a dedicated streaming
+// passthrough; everything else (healthz, metrics, queuez, new sweep
+// submissions — the receiving node is the coordinator — and forwarded
+// shard hops) is served locally.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /plan", rt.routeKeyed)
@@ -227,6 +249,10 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", rt.routeJob)
 	mux.HandleFunc("GET /jobs/{id}/result", rt.routeJob)
 	mux.HandleFunc("DELETE /jobs/{id}", rt.routeJob)
+	mux.HandleFunc("GET /sweeps/{id}", rt.routeJob)
+	mux.HandleFunc("GET /sweeps/{id}/result", rt.routeJob)
+	mux.HandleFunc("DELETE /sweeps/{id}", rt.routeJob)
+	mux.HandleFunc("GET /sweeps/{id}/events", rt.routeSweepEvents)
 	mux.Handle("/", rt.localH)
 	return mux
 }
@@ -283,6 +309,14 @@ func (rt *Router) routeKeyed(w http.ResponseWriter, r *http.Request) {
 			rt.serveLocal(w, r, body)
 			return
 		}
+		if sat, fresh := rt.admission.cached(node, rt.now()); fresh && sat {
+			// The peer's own advertisement says its queue is full or
+			// draining: skip it before dialing and let the walk fall to
+			// the next preference (ultimately local). When the TTL lapses
+			// the peer gets another chance.
+			rt.rec.Add("admission/skipped", 1)
+			continue
+		}
 		res, err := rt.forward(r.Context(), node, r.Method, r.URL.Path, body, r.Header.Get("Content-Type"))
 		if err != nil {
 			rt.rec.Add("failovers", 1)
@@ -327,12 +361,13 @@ func (rt *Router) routeJob(w http.ResponseWriter, r *http.Request) {
 	rt.writePeer(w, node, res)
 }
 
-// nodeForJob extracts the owning node from a prefixed job ID
-// ("b-j00000042" → "b"). Unprefixed or unknown-prefix IDs are treated as
-// local, where the service's own 404 is the right answer.
+// nodeForJob extracts the owning node from a prefixed job or sweep ID
+// ("b-j00000042" → "b", "b-s00000007" → "b"). Unprefixed or
+// unknown-prefix IDs are treated as local, where the service's own 404 is
+// the right answer.
 func (rt *Router) nodeForJob(id string) string {
 	node, rest, ok := strings.Cut(id, "-")
-	if !ok || !strings.HasPrefix(rest, "j") {
+	if !ok || (!strings.HasPrefix(rest, "j") && !strings.HasPrefix(rest, "s")) {
 		return ""
 	}
 	if _, known := rt.cfg.Nodes[node]; !known {
@@ -370,7 +405,7 @@ type peerResponse struct {
 
 // writePeer relays a peer's response to the client.
 func (rt *Router) writePeer(w http.ResponseWriter, node string, res *peerResponse) {
-	for _, h := range []string{"Content-Type", "X-Copack-Cache", "Location", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "X-Copack-Cache", "Location", "Retry-After", queueDepthHeader} {
 		if v := res.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -440,6 +475,11 @@ func (rt *Router) attempt(ctx context.Context, node, method, path string, body [
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: reading response from %s: %w", node, err)
+	}
+	// Backpressure responses advertise the peer's queue depth; remember
+	// it so subsequent routing can skip the peer before dialing.
+	if v := resp.Header.Get(queueDepthHeader); v != "" {
+		rt.admission.noteHeader(node, v, resp.StatusCode == http.StatusServiceUnavailable, rt.now())
 	}
 	if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
 		return nil, fmt.Errorf("%w: node %s answered %d", errUnavailable, node, resp.StatusCode)

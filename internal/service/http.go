@@ -22,15 +22,30 @@ const cacheHeader = "X-Copack-Cache"
 //	DELETE /jobs/{id}        cancel (queued: immediate; running: the
 //	                         planner stops at its next checkpoint and the
 //	                         job completes with a partial result)
+//	GET    /queuez           queue depth/capacity (fleet admission signal)
+//	POST   /sweeps           submit a distributed sweep → 202 {"id": ...}
+//	GET    /sweeps/{id}        sweep status (units done/total)
+//	GET    /sweeps/{id}/events SSE progress stream with heartbeats and a
+//	                           terminal done/failed/canceled event
+//	GET    /sweeps/{id}/result the deterministic reduced sweep body
+//	DELETE /sweeps/{id}        cancel the sweep
+//	POST   /sweeps/shard       internal fleet hop: execute a unit batch
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /queuez", s.handleQueuez)
 	mux.HandleFunc("POST /plan", s.handlePlan)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("POST /sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("POST /sweeps/shard", s.handleSweepShard)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("GET /sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("GET /sweeps/{id}/result", s.handleSweepResult)
+	mux.HandleFunc("DELETE /sweeps/{id}", s.handleSweepCancel)
 	return mux
 }
 
@@ -55,6 +70,7 @@ func writeHTTPError(w http.ResponseWriter, err error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining() {
+		s.setQueueHeader(w)
 		errorBody(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -97,6 +113,7 @@ func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (*planSpec, 
 // than stacking goroutines.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if s.draining() {
+		s.setQueueHeader(w)
 		errorBody(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
@@ -113,6 +130,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.syncSem }()
 	default:
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		s.setQueueHeader(w)
 		errorBody(w, http.StatusTooManyRequests, "too many concurrent /plan requests; retry or use POST /jobs")
 		return
 	}
@@ -160,6 +178,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if body, hit := s.cache.get(spec.key); hit {
 		j = newDoneJob(spec, body)
 		if err := s.registerDone(j); err != nil {
+			s.setQueueHeader(w)
 			errorBody(w, http.StatusServiceUnavailable, "server is shutting down")
 			return
 		}
@@ -169,9 +188,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, errQueueFull):
 			s.rec.Add("jobs/rejected", 1)
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			s.setQueueHeader(w)
 			errorBody(w, http.StatusTooManyRequests, "job queue full; retry later")
 			return
 		case errors.Is(err, errDraining):
+			s.setQueueHeader(w)
 			errorBody(w, http.StatusServiceUnavailable, "server is shutting down")
 			return
 		}

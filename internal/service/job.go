@@ -24,9 +24,17 @@ func (st JobState) terminal() bool {
 
 // job is one async planning unit. The zero states flow strictly forward;
 // done is closed exactly once, when the job reaches a terminal state.
+//
+// A job with runFn set is a func job: an opaque closure (a sweep unit)
+// riding the same bounded queue as plans so both workloads share one
+// backpressure budget. Func jobs are never registered in the job map —
+// their lifecycle lives in the sweep manager.
 type job struct {
 	id   string
 	spec *planSpec
+
+	runFn  func(ctx context.Context)
+	runCtx context.Context
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -52,6 +60,15 @@ func newJob(base context.Context, spec *planSpec) *job {
 		state:  JobQueued,
 		done:   make(chan struct{}),
 	}
+}
+
+// newFuncJob wraps a closure as a queue entry. The closure runs on a
+// worker with ctx — typically a sweep job's context, so drain and
+// cancellation reach it — and always runs once dequeued (possibly under a
+// canceled ctx, which it must check), so an enqueuer waiting on its
+// completion cannot leak.
+func newFuncJob(ctx context.Context, fn func(ctx context.Context)) *job {
+	return &job{runFn: fn, runCtx: ctx}
 }
 
 // newDoneJob builds a job that is terminal at birth — the cache-hit path.

@@ -49,6 +49,12 @@ type RequestOptions struct {
 	// Snapshot durations are wall-clock measurements, so a metrics=true
 	// body is only byte-stable when it is served from the cache.
 	Metrics bool `json:"metrics,omitempty"`
+	// Portfolio declares an adaptive annealing portfolio for the exchange
+	// step (arms + restart budget; see copack.PortfolioConfig). When set,
+	// restarts is ignored and the portfolio's bandit owns the restart
+	// loop. The config's seed field is ignored — the run's seed drives
+	// the bandit, so one seed governs the whole plan.
+	Portfolio *copack.PortfolioConfig `json:"portfolio,omitempty"`
 }
 
 // maxRestarts caps the per-request anneal fan-out so one request cannot
@@ -71,13 +77,14 @@ func httpErrf(status int, format string, args ...any) *httpError {
 // form that feeds both copack.Options and the cache key. Fields that
 // cannot change the result (worker counts) are deliberately absent.
 type normOptions struct {
-	alg      copack.Algorithm
-	cut      int
-	skip     bool
-	seed     int64
-	restarts int
-	budget   time.Duration
-	metrics  bool
+	alg       copack.Algorithm
+	cut       int
+	skip      bool
+	seed      int64
+	restarts  int
+	budget    time.Duration
+	metrics   bool
+	portfolio *copack.PortfolioConfig
 }
 
 // planSpec is a fully validated, canonicalized plan request: the parsed
@@ -186,6 +193,21 @@ func (o RequestOptions) normalize(maxBudget time.Duration) (normOptions, error) 
 			"budget_ms %d exceeds the server cap of %dms", o.BudgetMS, maxBudget.Milliseconds())
 	}
 	n.metrics = o.Metrics
+	if o.Portfolio != nil && !n.skip {
+		cfg := *o.Portfolio
+		// The exchange layer overwrites the config seed with the run's
+		// seed, so a request-supplied value cannot change the result —
+		// zero it here so it cannot split cache entries either.
+		cfg.Seed = 0
+		if err := cfg.Validate(); err != nil {
+			return n, httpErrf(http.StatusBadRequest, "invalid portfolio: %v", err)
+		}
+		n.portfolio = &cfg
+		// The bandit owns the restart loop; normalize restarts away so
+		// "portfolio + restarts 8" and plain "portfolio" share a cache
+		// entry (skip_exchange already normalizes the same way).
+		n.restarts = 1
+	}
 	return n, nil
 }
 

@@ -32,6 +32,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -41,6 +42,7 @@ import (
 
 	"copack"
 	"copack/internal/obs"
+	"copack/internal/sweep"
 )
 
 // Config tunes a Server. The zero value is production-usable: every field
@@ -82,6 +84,20 @@ type Config struct {
 	// the state. Must not contain '-'. Empty means standalone: plain
 	// "j00000042" IDs.
 	NodeID string
+	// SweepMaxSeeds caps a sweep's unit count. Default 64.
+	SweepMaxSeeds int
+	// SweepRetained bounds the finished-sweep history kept for polling.
+	// Default 64.
+	SweepRetained int
+	// SweepShardBatch is how many units ride in one forwarded sweep
+	// shard. Default 1 (finest progress granularity).
+	SweepShardBatch int
+	// SweepLocalConcurrency bounds how many of one sweep's units may
+	// occupy the job queue at once. Default 2.
+	SweepLocalConcurrency int
+	// SweepHeartbeat is the idle interval between keep-alive comments on
+	// a sweep event stream. Default 15s.
+	SweepHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.SweepHeartbeat <= 0 {
+		c.SweepHeartbeat = 15 * time.Second
+	}
 	return c
 }
 
@@ -124,6 +143,8 @@ type Server struct {
 
 	metrics *obs.Collector
 	rec     obs.Recorder // metrics under the service/ prefix
+
+	sweeps *sweep.Manager // distributed sweep coordinator (internal/sweep)
 
 	baseCtx    context.Context // canceled on Shutdown: running jobs wind down
 	baseCancel context.CancelFunc
@@ -159,6 +180,15 @@ func New(cfg Config) *Server {
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.cache = newResultCache(cfg.CacheEntries, s.rec)
+	s.sweeps = sweep.NewManager(sweep.Config{
+		NodeID:           cfg.NodeID,
+		MaxSeeds:         cfg.SweepMaxSeeds,
+		MaxRetained:      cfg.SweepRetained,
+		ShardBatch:       cfg.SweepShardBatch,
+		LocalConcurrency: cfg.SweepLocalConcurrency,
+		Enqueue:          s.enqueueFunc,
+		Recorder:         obs.WithPrefix(col, "sweep/"),
+	})
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -185,6 +215,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	s.baseCancel()
+
+	// Sweep coordinators first: their contexts are children of baseCtx so
+	// they are already winding down; Drain waits until each has emitted
+	// its terminal canceled event. Their queued unit closures still run
+	// (instantly, under the canceled context) because the workers below
+	// drain the closed queue fully before exiting.
+	if err := s.sweeps.Drain(ctx); err != nil {
+		return err
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -282,8 +321,45 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one queued job to a terminal state.
+// enqueueFunc is the sweep manager's path onto the job queue: sweep units
+// compete with plans for the same bounded capacity, so one backpressure
+// budget governs both workloads. Never blocks; the manager owns the
+// retry policy.
+func (s *Server) enqueueFunc(ctx context.Context, fn func(ctx context.Context)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return sweep.ErrDraining
+	}
+	select {
+	case s.queue <- newFuncJob(ctx, fn):
+		s.rec.Set("queue/depth", float64(len(s.queue)))
+		return nil
+	default:
+		return sweep.ErrQueueFull
+	}
+}
+
+// QueueInfo reports the job queue's current depth and capacity plus
+// whether the server is draining — the admission signal /queuez serves
+// and the X-Copack-Queue-Depth header advertises.
+func (s *Server) QueueInfo() (depth, capacity int, draining bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.cfg.QueueDepth, s.closed
+}
+
+// Sweeps exposes the sweep manager so the fleet router can install its
+// dispatcher and serve forwarded shards.
+func (s *Server) Sweeps() *sweep.Manager { return s.sweeps }
+
+// runJob executes one queued job to a terminal state. Func jobs (sweep
+// units) carry their own lifecycle; everything else is a plan.
 func (s *Server) runJob(j *job) {
+	if j.runFn != nil {
+		j.runFn(j.runCtx)
+		return
+	}
 	if !j.begin() {
 		// Canceled while queued: terminal already.
 		s.rec.Add("jobs/canceled", 1)
@@ -314,6 +390,7 @@ func (s *Server) plan(ctx context.Context, spec *planSpec) (body []byte, status 
 		Budget:       spec.opts.budget,
 		Workers:      s.cfg.PlanWorkers,
 		Exchange:     copack.ExchangeOptions{Restarts: spec.opts.restarts},
+		Portfolio:    spec.opts.portfolio,
 	}
 	var col *obs.Collector
 	if spec.opts.metrics {
@@ -334,6 +411,15 @@ func (s *Server) plan(ctx context.Context, spec *planSpec) (body []byte, status 
 	body, err = renderResponse(spec, res, col)
 	if err != nil {
 		return nil, 500, fmt.Sprintf("rendering response: %v", err)
+	}
+	if res.Exchange != nil && res.Exchange.Portfolio != nil {
+		// Surface the bandit's replay identity: the trace hash pins the
+		// full arm-allocation trace, split across two gauges because a
+		// float64 cannot hold 64 bits of hash losslessly.
+		h := res.Exchange.Portfolio.TraceHash()
+		s.rec.Add("portfolio/plans", 1)
+		s.rec.Set("portfolio/last_trace_hash_hi", float64(h>>32))
+		s.rec.Set("portfolio/last_trace_hash_lo", float64(h&0xffffffff))
 	}
 	if !res.Partial {
 		s.cache.put(spec.key, body)
@@ -370,13 +456,24 @@ func (s *Server) MetricsRecorder() obs.Recorder { return s.metrics }
 
 // version tag folded into every cache key so a change to the response
 // schema or the planning semantics invalidates old entries wholesale.
-const cacheKeyVersion = "copack-plan-v1"
+// v2: the portfolio fragment joined the key.
+const cacheKeyVersion = "copack-plan-v2"
 
 // optionsKey renders normalized options into the canonical cache-key
 // fragment. Workers is deliberately absent: it never changes the result.
+// The portfolio fragment is the config's canonical JSON ("-" when unset):
+// struct fields marshal in declaration order, so equal configs render
+// equal fragments.
 func (o normOptions) optionsKey() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "alg=%s cut=%d skip=%t seed=%d restarts=%d budget_ms=%d metrics=%t",
 		o.alg, o.cut, o.skip, o.seed, o.restarts, o.budget.Milliseconds(), o.metrics)
+	sb.WriteString(" portfolio=")
+	if o.portfolio == nil {
+		sb.WriteString("-")
+	} else {
+		pj, _ := json.Marshal(o.portfolio)
+		sb.Write(pj)
+	}
 	return sb.String()
 }

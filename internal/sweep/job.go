@@ -1,0 +1,236 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+)
+
+// State is a sweep job's lifecycle state.
+type State string
+
+// Sweep lifecycle: running → done|failed|canceled. There is no queued
+// state — the coordinator goroutine starts immediately; the *units* queue
+// behind the service's bounded worker pool.
+const (
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// EventType tags one entry of a job's event log.
+type EventType string
+
+// Event types. Progress ticks carry a strictly increasing units_done;
+// log events carry harness progress lines; exactly one terminal event
+// (done/failed/canceled) ends every log. Heartbeats are a property of the
+// HTTP stream, not the log — they never appear here, which keeps the log
+// deterministic in length.
+const (
+	EventProgress EventType = "progress"
+	EventLog      EventType = "log"
+	EventDone     EventType = "done"
+	EventFailed   EventType = "failed"
+	EventCanceled EventType = "canceled"
+)
+
+// Event is one entry of a sweep's append-only event log, the unit the
+// /sweeps/{id}/events stream serializes. Seq is the 1-based log position.
+type Event struct {
+	Seq        int       `json:"seq"`
+	Type       EventType `json:"type"`
+	UnitsDone  int       `json:"units_done"`
+	UnitsTotal int       `json:"units_total"`
+	// Seed is the completed unit's seed (progress events).
+	Seed *int64 `json:"seed,omitempty"`
+	// Node names who computed the unit (progress) — diagnostic only,
+	// completion order and placement vary with scheduling; only the
+	// final body is deterministic.
+	Node string `json:"node,omitempty"`
+	// Line is a harness progress line (log events).
+	Line string `json:"line,omitempty"`
+	// Error is the failure reason (failed/canceled events).
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the event ends its stream.
+func (e Event) Terminal() bool {
+	return e.Type == EventDone || e.Type == EventFailed || e.Type == EventCanceled
+}
+
+// Job is one sweep: its spec, result slot, and the event log streaming
+// consumers tail. All methods are safe for concurrent use.
+type Job struct {
+	// ID is the job's routable identifier ("s00000001", node-prefixed to
+	// "a-s00000001" in a fleet). Immutable after registration.
+	ID string
+
+	spec   *Spec
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu      sync.Mutex
+	state   State
+	done    int
+	body    []byte // final sweep body once StateDone
+	errMsg  string
+	events  []Event
+	changed chan struct{} // closed and replaced on every append
+}
+
+// newJob builds a running job whose context is a child of base, so server
+// drain cancels every sweep at once.
+func newJob(base context.Context, spec *Spec) *Job {
+	ctx, cancel := context.WithCancelCause(base)
+	return &Job{
+		spec:    spec,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateRunning,
+		changed: make(chan struct{}),
+	}
+}
+
+// Spec returns the job's normalized sweep spec.
+func (j *Job) Spec() *Spec { return j.spec }
+
+// append adds one event to the log and wakes every waiter. Caller holds
+// j.mu.
+func (j *Job) append(e Event) {
+	e.Seq = len(j.events) + 1
+	e.UnitsTotal = len(j.spec.Seeds)
+	j.events = append(j.events, e)
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// tick records one completed unit: units_done increments under the same
+// lock that orders the log, so progress ticks are strictly increasing no
+// matter how many workers complete units concurrently.
+func (j *Job) tick(unit int, node string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.done++
+	seed := j.spec.Seeds[unit]
+	j.append(Event{Type: EventProgress, UnitsDone: j.done, Seed: &seed, Node: node})
+}
+
+// logLine records a harness progress line.
+func (j *Job) logLine(line string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.append(Event{Type: EventLog, UnitsDone: j.done, Line: line})
+}
+
+// complete moves the job to done with the reduced body and emits the
+// terminal event. Terminal transitions are idempotent: the first one
+// wins, so the log holds exactly one terminal event.
+func (j *Job) complete(body []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = StateDone
+	j.body = body
+	j.append(Event{Type: EventDone, UnitsDone: j.done})
+}
+
+// fail moves the job to failed with a reason.
+func (j *Job) fail(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = StateFailed
+	j.errMsg = msg
+	j.append(Event{Type: EventFailed, UnitsDone: j.done, Error: msg})
+}
+
+// markCanceled moves the job to canceled with a reason ("canceled" from
+// DELETE, "server draining" from Shutdown). In-flight units finish but no
+// longer tick; the coordinator emits this exactly once.
+func (j *Job) markCanceled(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = StateCanceled
+	j.errMsg = msg
+	j.append(Event{Type: EventCanceled, UnitsDone: j.done, Error: msg})
+}
+
+// Cancel requests cancellation: the coordinator stops scheduling units
+// and terminates the job with a canceled event. cause becomes the
+// terminal event's reason.
+func (j *Job) Cancel(cause error) { j.cancel(cause) }
+
+// View is a job's externally visible state in one consistent read.
+type View struct {
+	ID         string
+	State      State
+	UnitsDone  int
+	UnitsTotal int
+	Body       []byte
+	ErrMsg     string
+}
+
+// Snapshot returns the job's current View.
+func (j *Job) Snapshot() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return View{
+		ID:         j.ID,
+		State:      j.state,
+		UnitsDone:  j.done,
+		UnitsTotal: len(j.spec.Seeds),
+		Body:       j.body,
+		ErrMsg:     j.errMsg,
+	}
+}
+
+// EventsSince returns the log entries after position from (0 returns the
+// whole log), plus a channel that closes on the next append and whether
+// the log already holds its terminal event. A streaming consumer loops:
+// drain the slice, then wait on the channel (or a heartbeat timer, or the
+// client's context) unless terminal was set.
+func (j *Job) EventsSince(from int) (events []Event, changed <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		events = append(events, j.events[from:]...)
+	}
+	return events, j.changed, j.state.Terminal()
+}
+
+// Wait blocks until the job is terminal or ctx expires — test and drain
+// plumbing; HTTP consumers poll or stream instead.
+func (j *Job) Wait(ctx context.Context) error {
+	for {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		changed := j.changed
+		j.mu.Unlock()
+		if terminal {
+			return nil
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
